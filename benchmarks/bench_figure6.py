@@ -1,0 +1,29 @@
+"""Figure 6 — classification of memory accesses (PrefClus heuristic).
+
+Shape targets (paper section 4.2):
+* MDC lowers the average local-hit ratio versus free scheduling
+  (62.5% -> 53.2% in the paper);
+* DDGT raises it above both (all loads at their preferred cluster, all
+  executed store instances local);
+* epicdec shows the hardest collapse under MDC.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark):
+    result = run_once(benchmark, run_figure6)
+    print()
+    print(result.render())
+    free = result.mean_local_hit("free")
+    mdc = result.mean_local_hit("MDC")
+    ddgt = result.mean_local_hit("DDGT")
+    print(
+        f"\nmean local hit: free {free:.1%} | MDC {mdc:.1%} | DDGT {ddgt:.1%}"
+        f"   (paper: 62.5% | 53.2% | MDC +15%)"
+    )
+    assert mdc < free, "MDC must reduce local hits (paper Figure 6)"
+    assert ddgt > mdc, "DDGT must raise local hits above MDC"
+    assert ddgt >= free, "DDGT maximizes local accesses"

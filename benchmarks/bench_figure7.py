@@ -1,0 +1,33 @@
+"""Figure 7 — execution cycles (compute/stall split), normalized to the
+optimistic free-scheduling MinComs baseline.
+
+Shape targets (paper section 4.2):
+* DDGT(PrefClus) reduces stall time vs MDC(PrefClus) (paper: -32%);
+* DDGT increases compute time (paper: +10-11%);
+* MDC often outperforms DDGT, but DDGT(PrefClus) wins epicdec;
+* no solution is always better.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure7
+
+
+def test_figure7(benchmark):
+    result = run_once(benchmark, run_figure7)
+    print()
+    print(result.render())
+    winners = {
+        name: result.winner(name)
+        for name in result.bars
+        if name != "AMEAN"
+    }
+    print("\nper-benchmark winners:", winners)
+    assert winners["epicdec"].startswith("ddgt"), (
+        "DDGT must win epicdec (paper headline)"
+    )
+    winner_kinds = {w.split("/")[0] for w in winners.values()}
+    assert winner_kinds == {"mdc", "ddgt"}, "no solution is always better"
+    mdc_wins = sum(1 for w in winners.values() if w.startswith("mdc"))
+    print(f"MDC wins {mdc_wins}/{len(winners)} benchmarks "
+          f"(paper: MDC 'often outperforms' DDGT)")

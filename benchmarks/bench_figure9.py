@@ -1,0 +1,26 @@
+"""Figure 9 — execution cycles with 16-entry 2-way Attraction Buffers.
+
+Shape targets (paper section 5.4): with ABs the MDC solution catches up
+(ABs already fix its locality), while epicdec — whose 76-instruction chain
+overflows a single cluster's AB under MDC — still favors DDGT, with a much
+higher chain-loop local hit ratio.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure9
+
+
+def test_figure9(benchmark):
+    result = run_once(benchmark, run_figure9)
+    print()
+    print(result.render())
+    bars = result.figure.bars["epicdec"]
+    assert bars["ddgt/prefclus"].total < bars["mdc/prefclus"].total, (
+        "epicdec: the 76-op chain overflows one AB; DDGT spreads it"
+    )
+    mdc_lh = result.epicdec_loop["MDC"]["local_hit"]
+    ddgt_lh = result.epicdec_loop["DDGT"]["local_hit"]
+    print(f"\nepicdec chain loop local hits: MDC {mdc_lh:.0%} vs "
+          f"DDGT {ddgt_lh:.0%} (paper: 65% vs 97%)")
+    assert ddgt_lh > mdc_lh

@@ -1,0 +1,28 @@
+"""Section 4.2 'other architectural configurations' — the NOBAL+MEM and
+NOBAL+REG bus sweeps.
+
+Shape target: making remote memory accesses more expensive (NOBAL+REG's
+two 4-cycle memory buses) helps DDGT(PrefClus) — which keeps accesses
+local — relative to MDC, compared against the memory-rich NOBAL+MEM
+configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_nobal
+
+
+def test_nobal(benchmark):
+    result = run_once(benchmark, run_nobal)
+    print()
+    print(result.render())
+    helped = 0
+    for name in ("epicdec", "pgpdec", "pgpenc", "rasta"):
+        reg = result.ddgt_speedup_over_best_mdc("nobal+reg", name)
+        mem = result.ddgt_speedup_over_best_mdc("nobal+mem", name)
+        if reg > mem:
+            helped += 1
+    assert helped >= 2, (
+        "expensive memory buses should favor DDGT on most chain-heavy "
+        "benchmarks (paper reports 8-20% speedups under NOBAL+REG)"
+    )

@@ -1,0 +1,46 @@
+"""Tables 1 and 2 — the benchmark catalog and the machine configuration.
+
+These are the paper's setup tables: Table 1 (benchmarks, inputs, dominant
+data sizes, interleave factors) comes from the workload catalog; Table 2
+(machine parameters) from the architecture description.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.arch import BASELINE_CONFIG
+from repro.workloads import BENCHMARKS, get_benchmark
+
+
+def build_table1() -> str:
+    rows = []
+    for name in BENCHMARKS:
+        bench = get_benchmark(name)
+        rows.append([
+            name,
+            bench.profile_input,
+            bench.execute_input,
+            f"{bench.main_width} bytes ({bench.main_width_share:.0%})",
+            f"{bench.interleave_bytes}B",
+        ])
+    return format_table(
+        ["benchmark", "profile data set", "execution data set",
+         "main data size", "interleave"],
+        rows,
+        title="Table 1: benchmarks and inputs",
+    )
+
+
+def test_table1(benchmark):
+    table = run_once(benchmark, build_table1)
+    print()
+    print(table)
+    assert "epicdec" in table and "rasta" in table
+
+
+def test_table2(benchmark):
+    table = run_once(benchmark, BASELINE_CONFIG.describe)
+    print()
+    print("Table 2: configuration parameters")
+    print(table)
+    assert "clusters" in table

@@ -1,0 +1,35 @@
+"""Table 3 — CMR and CAR chain ratios per benchmark.
+
+The catalog is calibrated against these published values, so the check is
+tight (±0.02): this bench is the regression gate for the calibration.
+"""
+
+from conftest import run_once
+
+from repro.analysis import cmr_car, format_table
+from repro.experiments import EVALUATED
+from repro.experiments.paperdata import TABLE3
+from repro.workloads import get_benchmark
+
+
+def build_table3():
+    rows = []
+    for name in EVALUATED:
+        bench = get_benchmark(name)
+        cmr, car = cmr_car(bench.chain_table())
+        paper_cmr, paper_car = TABLE3[name]
+        rows.append((name, cmr, car, paper_cmr, paper_car))
+    return rows
+
+
+def test_table3(benchmark):
+    rows = run_once(benchmark, build_table3)
+    print()
+    print(format_table(
+        ["benchmark", "CMR", "CAR", "paper CMR", "paper CAR"],
+        [[n, c, a, pc, pa] for n, c, a, pc, pa in rows],
+        title="Table 3: analyzing the MDC solution",
+    ))
+    for name, cmr, car, paper_cmr, paper_car in rows:
+        assert abs(cmr - paper_cmr) < 0.02, name
+        assert abs(car - paper_car) < 0.02, name

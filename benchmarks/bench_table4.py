@@ -1,0 +1,24 @@
+"""Table 4 — analyzing the DDGT solution.
+
+Shape targets: store replication multiplies communication operations on
+the chain-heavy benchmarks (Δ com. ops > 1), and DDGT speeds up the
+selected loops (those with a >=10% MDC slowdown) where the paper reports
+positive speedups.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, run_table4)
+    print()
+    print(result.render())
+    for name in ("epicdec", "pgpdec", "pgpenc", "rasta"):
+        assert result.comm_ratio[name] > 1.0, (
+            f"{name}: replicated stores must add communication ops"
+        )
+    # Chain-free benchmarks add none.
+    assert result.comm_ratio["g721dec"] == 1.0
+    assert result.comm_ratio["g721enc"] == 1.0

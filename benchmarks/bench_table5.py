@@ -1,0 +1,18 @@
+"""Table 5 — memory-dependence restrictions before/after code
+specialization (section 6), for epicdec, pgpdec and rasta."""
+
+from conftest import run_once
+
+from repro.experiments import run_table5
+from repro.experiments.paperdata import TABLE5
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, run_table5)
+    print()
+    print(result.render())
+    for name, (old_cmr, old_car, new_cmr, new_car) in result.rows.items():
+        p_old_cmr, p_old_car, p_new_cmr, p_new_car = TABLE5[name]
+        assert abs(old_cmr - p_old_cmr) < 0.02, name
+        assert abs(new_cmr - p_new_cmr) < 0.05, name
+        assert abs(new_car - p_new_car) < 0.05, name

@@ -1,0 +1,20 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Experiments are heavy (hundreds of compile+simulate runs), so every
+benchmark runs its driver exactly once via ``benchmark.pedantic`` and
+prints the paper-vs-measured table to stdout (run with ``-s`` to see it,
+or read EXPERIMENTS.md for a captured full-scale run).
+
+Scale: set ``REPRO_SCALE`` (default 0.5) to trade run time for trace
+length; results are cached in-process, so figure benches sharing variants
+reuse each other's simulations.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

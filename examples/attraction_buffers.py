@@ -1,0 +1,68 @@
+"""Attraction Buffers and the epicdec anecdote (paper section 5.4).
+
+epicdec's most important loop has 76 memory instructions forming one
+memory dependent chain.  Under MDC all of them run in one cluster, so
+that cluster's 16-entry Attraction Buffer thrashes; under DDGT they
+spread over the machine and every AB holds its share, so the chain turns
+almost fully local.
+
+Run:  python examples/attraction_buffers.py
+"""
+
+from repro import BASELINE_CONFIG, CoherenceMode, Heuristic, compile_loop, simulate
+from repro.workloads import get_benchmark, trace_factory
+
+ITERATIONS = 256
+
+
+def run(spec, bench, machine, coherence):
+    compiled = compile_loop(
+        spec.ddg,
+        machine,
+        coherence=coherence,
+        heuristic=Heuristic.PREFCLUS,
+        trace_factory=trace_factory(256, seed=bench.profile_seed),
+    )
+    result = simulate(
+        compiled,
+        trace_factory(ITERATIONS, seed=bench.execute_seed)(compiled.ddg),
+        iterations=ITERATIONS,
+    )
+    return compiled, result
+
+
+def main():
+    bench = get_benchmark("epicdec")
+    chain_loop = bench.loops[0]
+    plain = bench.machine(BASELINE_CONFIG)
+    with_ab = plain.with_attraction_buffers(entries=16, associativity=2)
+
+    print("epicdec chain loop (the 76-instruction memory dependent chain)")
+    print(f"machine: {with_ab.name} — 16-entry 2-way ABs, flushed per loop\n")
+
+    header = (
+        f"{'variant':22s} {'II':>4s} {'local hits':>10s} {'AB fills':>9s} "
+        f"{'AB thrash':>9s} {'stall':>7s} {'total':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for machine, tag in ((plain, "no AB"), (with_ab, "AB")):
+        for coherence in (CoherenceMode.MDC, CoherenceMode.DDGT):
+            compiled, result = run(chain_loop, bench, machine, coherence)
+            stats = result.stats
+            print(
+                f"{coherence.value.upper():5s} {tag:16s} {compiled.ii:4d} "
+                f"{stats.local_hit_ratio:10.1%} {stats.ab_fills:9d} "
+                f"{stats.ab_overflows:9d} {result.stall_cycles:7d} "
+                f"{result.stats.total_cycles:7d}"
+            )
+
+    print(
+        "\nPaper: with ABs this loop goes from 65% local hits under MDC to"
+        "\n97% under DDGT (a 24% loop speedup), because MDC funnels all 76"
+        "\nstreams through a single cluster's 16-entry buffer."
+    )
+
+
+if __name__ == "__main__":
+    main()

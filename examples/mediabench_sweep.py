@@ -1,0 +1,62 @@
+"""Run the full Mediabench-like catalog under every solution/heuristic.
+
+Prints, per benchmark: normalized execution time of the four Figure 7
+bars and the local hit ratios of the three Figure 6 bars — a compact
+rendition of the paper's evaluation section.
+
+Run:  python examples/mediabench_sweep.py          (scale 0.25, ~1 min)
+      REPRO_SCALE=1.0 python examples/mediabench_sweep.py
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "0.25")
+
+from repro.experiments import run_figure6, run_figure7  # noqa: E402
+
+
+def main():
+    scale = os.environ["REPRO_SCALE"]
+    print(f"Sweeping 13 benchmarks x 7 variants (REPRO_SCALE={scale})...\n")
+
+    fig6 = run_figure6()
+    fig7 = run_figure7()
+
+    header = (
+        f"{'benchmark':10s} | {'MDC(P)':>7s} {'MDC(M)':>7s} {'DDGT(P)':>8s} "
+        f"{'DDGT(M)':>8s} | {'lh free':>7s} {'lh MDC':>7s} {'lh DDGT':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in fig7.bars:
+        bars = fig7.bars[name]
+        row = (
+            f"{name:10s} | "
+            f"{bars['mdc/prefclus'].total:7.3f} "
+            f"{bars['mdc/mincoms'].total:7.3f} "
+            f"{bars['ddgt/prefclus'].total:8.3f} "
+            f"{bars['ddgt/mincoms'].total:8.3f} | "
+        )
+        if name in fig6.fractions:
+            from repro.sim.stats import AccessType
+
+            f = fig6.fractions[name]
+            row += (
+                f"{f['free'][AccessType.LOCAL_HIT]:7.1%} "
+                f"{f['MDC'][AccessType.LOCAL_HIT]:7.1%} "
+                f"{f['DDGT'][AccessType.LOCAL_HIT]:8.1%}"
+            )
+        print(row)
+
+    print()
+    print("Execution times normalized to free scheduling with MinComs;")
+    print("'lh' columns are local-hit ratios (Figure 6's bars).")
+    for name in fig7.bars:
+        if name == "AMEAN":
+            continue
+        winner = fig7.winner(name)
+        print(f"  {name:10s} best: {winner}")
+
+
+if __name__ == "__main__":
+    main()

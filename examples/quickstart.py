@@ -1,0 +1,86 @@
+"""Quickstart: compile and simulate one loop under all coherence solutions.
+
+Builds a small in-place update loop (the kind that creates memory
+dependent chains), compiles it for the paper's 4-cluster word-interleaved
+machine under the optimistic baseline, MDC and DDGT, and prints the cycle
+and access statistics side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BASELINE_CONFIG,
+    CoherenceMode,
+    DdgBuilder,
+    Heuristic,
+    MemRef,
+    compile_loop,
+    simulate,
+    trace_factory,
+)
+
+
+def build_loop():
+    """for i: buf[i] = f(buf[i], buf[i+4]); out[i] = g(buf[i])
+
+    The two ``buf`` references through an unanalyzable pointer alias each
+    other, so the compiler must serialize them — a memory dependent chain.
+    """
+    b = DdgBuilder("quickstart")
+    b.ialu("i", b.carried("i", 1), name="agen")
+    a = b.load("a", "i", mem=MemRef("buf", offset=0, stride=16, width=4,
+                                    ambiguous=True), name="ld_a")
+    c = b.load("c", "i", mem=MemRef("buf", offset=64, stride=16, width=4),
+               name="ld_c")
+    b.falu("v", "a", "c", name="mix")
+    b.store("v", "i", mem=MemRef("buf", offset=16, stride=16, width=4),
+            name="st_buf")
+    b.ialu("o", "v", name="post")
+    b.store("o", "i", mem=MemRef("out", stride=4, width=4), name="st_out")
+    return b.build()
+
+
+def main():
+    loop = build_loop()
+    print("Input loop:")
+    print(loop.describe())
+    print()
+
+    profile = trace_factory(256, seed=1)   # the profiling data set
+    execute = trace_factory(4000, seed=2)  # the execution data set
+
+    header = (
+        f"{'variant':16s} {'II':>3s} {'unroll':>6s} {'compute':>9s} "
+        f"{'stall':>7s} {'local hits':>10s} {'violations':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for coherence in CoherenceMode:
+        compiled = compile_loop(
+            loop,
+            BASELINE_CONFIG,
+            coherence=coherence,
+            heuristic=Heuristic.PREFCLUS,
+            trace_factory=profile,
+        )
+        result = simulate(
+            compiled,
+            execute(compiled.ddg),
+            iterations=1000,
+        )
+        print(
+            f"{coherence.value:16s} {compiled.ii:3d} "
+            f"{compiled.unroll_factor:6d} {result.compute_cycles:9d} "
+            f"{result.stall_cycles:7d} "
+            f"{result.stats.local_hit_ratio:10.1%} "
+            f"{result.violations.total:10d}"
+        )
+    print()
+    print(
+        "The optimistic baseline ('none') may reorder aliased accesses\n"
+        "across clusters; MDC and DDGT guarantee zero violations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to this legacy path when
+PEP 660 editable wheels are unavailable; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Memory model: symbolic references, disambiguation and profiling.
+
+The paper's compiler (IMPACT) attaches memory-dependence edges to the loop
+DDG after memory disambiguation, and computes each memory instruction's
+*preferred cluster* by profiling.  This subpackage provides both:
+
+* :class:`~repro.alias.memref.MemRef` — a symbolic description of what a
+  memory instruction touches (space, offset, stride, width, pattern);
+* :func:`~repro.alias.disambiguation.add_memory_dependences` — conservative
+  insertion of MF/MA/MO edges between may-aliasing instructions;
+* :func:`~repro.alias.profiles.profile_preferred_clusters` — per-instruction
+  home-cluster histograms measured on a (profile) address trace.
+"""
+
+from repro.alias.memref import AccessPattern, MemRef
+from repro.alias.disambiguation import (
+    add_memory_dependences,
+    may_alias,
+    remove_memory_dependences,
+)
+from repro.alias.profiles import ClusterProfile, profile_preferred_clusters
+
+__all__ = [
+    "AccessPattern",
+    "MemRef",
+    "add_memory_dependences",
+    "may_alias",
+    "remove_memory_dependences",
+    "ClusterProfile",
+    "profile_preferred_clusters",
+]

@@ -1,0 +1,252 @@
+"""Conservative memory disambiguation.
+
+The paper (section 3.1) assumes the compiler runs memory disambiguation
+and then adds MF/MA/MO edges between every pair of memory instructions it
+cannot prove independent — "the compiler always stays on the conservative
+side".  This module reproduces that pass over :class:`MemRef` symbolism,
+per memory space:
+
+* affine, unambiguous references are analyzed precisely: equal-stride
+  pairs get exact dependence distances (interval overlap per iteration
+  delta); stride-mismatched pairs that may overlap are serialized
+  pairwise;
+* an *ambiguous or indirect* reference may touch anything in its space,
+  so it is fully serialized against every other reference of the space
+  (and against itself across iterations — the ``d=1`` self MO edges of
+  the paper's Figure 3): a distance-0 edge in program order plus a
+  distance-1 back edge per pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.alias.memref import AccessPattern, MemRef
+from repro.ir.ddg import Ddg
+from repro.ir.edges import DepKind
+from repro.ir.instructions import Instruction
+
+#: Loop-carried dependence distances farther than this are dropped: they do
+#: not constrain a modulo schedule in practice and only bloat the graph.
+DEFAULT_HORIZON = 4
+
+
+def _dep_kind(src: Instruction, dst: Instruction) -> Optional[DepKind]:
+    """Memory-dependence kind for an ordered pair, or None for load-load."""
+    if src.is_store and dst.is_load:
+        return DepKind.MF
+    if src.is_load and dst.is_store:
+        return DepKind.MA
+    if src.is_store and dst.is_store:
+        return DepKind.MO
+    return None
+
+
+def _analyzable(mem: MemRef) -> bool:
+    return mem.pattern is AccessPattern.AFFINE and not mem.ambiguous
+
+
+def may_alias(a: MemRef, b: MemRef) -> bool:
+    """Whether the compiler must assume ``a`` and ``b`` can touch the same
+    bytes in *some* pair of iterations."""
+    if a.space != b.space:
+        return False
+    if not (_analyzable(a) and _analyzable(b)):
+        return True
+    if a.stride == b.stride:
+        return bool(_affine_distances(a, b, DEFAULT_HORIZON))
+    # Different strides: the GCD test can still prove independence.
+    return _strides_may_overlap(a, b)
+
+
+def _affine_distances(a: MemRef, b: MemRef, horizon: int) -> Optional[List[int]]:
+    """Iteration deltas ``k`` at which equal-stride affine references
+    collide: the ``a`` access of iteration ``j + k`` overlaps the ``b``
+    access of iteration ``j``.  ``None`` when not analyzable."""
+    if not (_analyzable(a) and _analyzable(b)):
+        return None
+    if a.stride != b.stride:
+        return None
+    s = a.stride
+    delta = b.offset - a.offset  # address(b) - address(a) at equal iteration
+    if s == 0:
+        # Invariant references that overlap do so in *every* pair of
+        # iterations: dependences at all distances (capped at the horizon;
+        # farther instances are ordered transitively through the store's
+        # d=1 self output dependence).
+        if _intervals_overlap(0, a.width, delta, b.width):
+            return list(range(-horizon, horizon + 1))
+        return []
+    hits = []
+    for k in range(-horizon, horizon + 1):
+        if _intervals_overlap(s * k, a.width, delta, b.width):
+            hits.append(k)
+    return hits
+
+
+def _strides_may_overlap(a: MemRef, b: MemRef) -> bool:
+    """GCD (ZIV/SIV-style) independence test for stride-mismatched affine
+    references: the address gap changes by multiples of gcd(s1, s2), so an
+    overlap requires the initial gap to be congruent to a value inside the
+    overlap window."""
+    s1, s2 = abs(a.stride), abs(b.stride)
+    delta = b.offset - a.offset
+    if s1 == 0 and s2 == 0:
+        return _intervals_overlap(0, a.width, delta, b.width)
+    g = math.gcd(s1, s2)
+    return any((delta - t) % g == 0 for t in range(-a.width + 1, b.width))
+
+
+def _intervals_overlap(a_start: int, a_width: int, b_start: int, b_width: int) -> bool:
+    return a_start < b_start + b_width and b_start < a_start + a_width
+
+
+# ----------------------------------------------------------------------
+def add_memory_dependences(ddg: Ddg, horizon: int = DEFAULT_HORIZON) -> int:
+    """Insert MF/MA/MO edges between every may-aliasing pair.
+
+    Returns the number of edges added.
+    """
+    by_space: Dict[str, List[Instruction]] = {}
+    for instr in sorted(ddg.memory_instructions(), key=lambda v: (v.seq, v.iid)):
+        by_space.setdefault(instr.mem.space, []).append(instr)
+
+    added = 0
+    for ops in by_space.values():
+        precise = [op for op in ops if _analyzable(op.mem)]
+        fuzzy = [op for op in ops if not _analyzable(op.mem)]
+        added += _affine_group(ddg, precise, horizon)
+        added += _ambiguous_pairs(ddg, fuzzy, ops)
+    return added
+
+
+def _ambiguous_pairs(
+    ddg: Ddg, fuzzy: List[Instruction], ops: List[Instruction]
+) -> int:
+    """Serialize every ambiguous/indirect reference against its space.
+
+    Each pair involving at least one unanalyzable member gets the
+    conservative treatment: a distance-0 edge in program order and a
+    distance-1 back edge.  Ambiguous stores also get the distance-1 self
+    output dependence (they may re-touch their own bytes next iteration).
+    """
+    if not fuzzy:
+        return 0
+    added = 0
+
+    def add(src: Instruction, dst: Instruction, kind: Optional[DepKind],
+            d: int) -> None:
+        nonlocal added
+        if kind is None:
+            return
+        if ddg.add_edge(src.iid, dst.iid, kind, d) is not None:
+            added += 1
+
+    for amb in fuzzy:
+        if amb.is_store:
+            add(amb, amb, DepKind.MO, 1)
+    seen_pairs = set()
+    for amb in fuzzy:
+        for other in ops:
+            if other.iid == amb.iid:
+                continue
+            pair = (min(amb.iid, other.iid), max(amb.iid, other.iid))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            if not (amb.is_store or other.is_store):
+                continue
+            first, second = (
+                (amb, other) if (amb.seq, amb.iid) < (other.seq, other.iid)
+                else (other, amb)
+            )
+            add(first, second, _dep_kind(first, second), 0)
+            add(second, first, _dep_kind(second, first), 1)
+    return added
+
+
+def _affine_group(ddg: Ddg, ops: List[Instruction], horizon: int) -> int:
+    """Precise pairwise analysis of an all-affine, unambiguous group."""
+    added = 0
+    for i, first in enumerate(ops):
+        if first.is_store and first.mem.stride == 0:
+            # An invariant store re-touches its location every iteration.
+            if ddg.add_edge(first.iid, first.iid, DepKind.MO, 1) is not None:
+                added += 1
+        for second in ops[i + 1 :]:
+            if not (first.is_store or second.is_store):
+                continue
+            added += _add_pair_edges(ddg, first, second, horizon)
+    return added
+
+
+def _add_pair_edges(
+    ddg: Ddg, first: Instruction, second: Instruction, horizon: int
+) -> int:
+    """Dependence edges for one affine ordered pair (program order:
+    ``first`` before ``second``)."""
+    added = 0
+    distances = _affine_distances(first.mem, second.mem, horizon)
+    if distances is None:
+        if not _strides_may_overlap(first.mem, second.mem):
+            return 0  # GCD test proved the streams disjoint
+        # Stride mismatch that may collide: conservative serialization.
+        kind_fwd = _dep_kind(first, second)
+        kind_bwd = _dep_kind(second, first)
+        if kind_fwd is not None:
+            if ddg.add_edge(first.iid, second.iid, kind_fwd, 0) is not None:
+                added += 1
+        if kind_bwd is not None:
+            if ddg.add_edge(second.iid, first.iid, kind_bwd, 1) is not None:
+                added += 1
+        return added
+
+    for k in distances:
+        # k = iter(first) - iter(second) at collision time: instance
+        # ``first @ (j + k)`` touches the bytes of ``second @ j``.
+        if k < 0:
+            # first's colliding instance lives in an *earlier* iteration:
+            # first happens first; second depends on it at distance -k.
+            kind = _dep_kind(first, second)
+            if kind is not None and -k <= horizon:
+                if ddg.add_edge(first.iid, second.iid, kind, -k) is not None:
+                    added += 1
+        elif k == 0:
+            kind = _dep_kind(first, second)
+            if kind is not None:
+                if ddg.add_edge(first.iid, second.iid, kind, 0) is not None:
+                    added += 1
+        else:
+            # second's instance comes first in time: first of iteration
+            # j + k depends on second of iteration j, distance k.
+            kind = _dep_kind(second, first)
+            if kind is not None and k <= horizon:
+                if ddg.add_edge(second.iid, first.iid, kind, k) is not None:
+                    added += 1
+    return added
+
+
+def remove_memory_dependences(ddg: Ddg, only_ambiguous: bool = False) -> int:
+    """Strip memory-dependence edges (MF/MA/MO) from the graph.
+
+    With ``only_ambiguous=True`` only edges whose endpoints involve an
+    ``ambiguous`` reference are removed — the graph-level effect of code
+    specialization (section 6): the run-time check proves the ambiguous
+    pairs disjoint, so the aggressive loop version drops exactly those
+    edges.  Returns the number of edges removed.
+    """
+
+    def doomed(edge) -> bool:
+        if not edge.is_memory:
+            return False
+        if not only_ambiguous:
+            return True
+        src = ddg.node(edge.src)
+        dst = ddg.node(edge.dst)
+        return bool(
+            (src.mem is not None and src.mem.ambiguous)
+            or (dst.mem is not None and dst.mem.ambiguous)
+        )
+
+    return len(ddg.remove_edges(doomed))

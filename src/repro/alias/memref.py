@@ -1,0 +1,119 @@
+"""Symbolic memory references.
+
+A :class:`MemRef` describes, per memory instruction, the address stream the
+instruction produces across loop iterations.  It plays two roles:
+
+* the *disambiguator* compares two MemRefs to decide whether the compiler
+  could prove independence (otherwise a conservative memory-dependence edge
+  is added, exactly like the paper's section 3.1 notes: unresolved
+  may-aliases become edges too);
+* the *trace generators* evaluate a MemRef against a base-address map and a
+  seeded RNG to produce the concrete per-iteration addresses fed to the
+  cycle-level simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class AccessPattern(enum.Enum):
+    """How the address evolves across iterations."""
+
+    #: address = base(space) + offset + stride * iteration
+    AFFINE = "affine"
+    #: address = base(space) + offset + width * U(0, spread/width) — models
+    #: table lookups / pointer chasing the compiler cannot analyze.
+    INDIRECT = "indirect"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Symbolic description of one memory instruction's address stream.
+
+    Parameters
+    ----------
+    space:
+        Name of the memory object (array / buffer) being accessed.  Two
+        references to different spaces never alias (the compiler can always
+        distinguish distinct objects); two references to the same space may.
+    offset:
+        Byte offset of the iteration-0 access within the space.
+    stride:
+        Bytes the address advances per loop iteration (0 for invariant or
+        indirect references).
+    width:
+        Access size in bytes (1, 2, 4 or 8 — Table 1's dominant data sizes).
+    pattern:
+        Affine (analyzable) or indirect (unanalyzable) address stream.
+    spread:
+        For indirect references, size in bytes of the window addresses are
+        drawn from.
+    ambiguous:
+        When true, the compiler must treat this reference as possibly
+        aliasing *anything* in the same space even if the affine footprints
+        are provably disjoint — this models unresolved may-aliases (e.g.
+        pointers the compiler could not disambiguate) and is what code
+        specialization (section 6) later removes.
+    salt:
+        Decorrelates the pseudo-random streams of *indirect* references.
+        Loop unrolling bumps the salt of each copy (different original
+        iterations touch different addresses) while store replication keeps
+        it (all instances of a store must compute the same address).
+    """
+
+    space: str
+    offset: int = 0
+    stride: int = 0
+    width: int = 4
+    pattern: AccessPattern = AccessPattern.AFFINE
+    spread: int = 0
+    ambiguous: bool = False
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 2, 4, 8):
+            raise ConfigError(f"unsupported access width: {self.width}")
+        if self.offset < 0:
+            raise ConfigError("negative MemRef offset")
+        if self.pattern is AccessPattern.INDIRECT and self.spread < self.width:
+            raise ConfigError("indirect MemRef needs spread >= width")
+
+    def address(self, base: int, iteration: int) -> int:
+        """Concrete byte address of this reference at ``iteration``.
+
+        Indirect references are resolved by the trace generator (which owns
+        the RNG); calling this on an indirect reference returns the window
+        start, which is only meaningful for footprint reasoning.
+        """
+        if self.pattern is AccessPattern.AFFINE:
+            return base + self.offset + self.stride * iteration
+        return base + self.offset
+
+    def shifted(self, extra_offset: int, stride_scale: int = 1) -> "MemRef":
+        """A copy advanced by ``extra_offset`` bytes with the stride scaled.
+
+        Used by loop unrolling: copy ``k`` of an unrolled reference starts
+        ``stride * k`` bytes later and advances ``stride * factor`` per new
+        iteration.
+        """
+        return replace(
+            self,
+            offset=self.offset + extra_offset,
+            stride=self.stride * stride_scale,
+        )
+
+    def footprint(self, iterations: int) -> Optional[range]:
+        """Byte range [start, stop) touched over ``iterations`` iterations,
+        relative to the space base; ``None`` if unanalyzable."""
+        if self.pattern is AccessPattern.INDIRECT:
+            return range(self.offset, self.offset + max(self.spread, self.width))
+        if iterations <= 0:
+            return range(self.offset, self.offset)
+        lo = self.offset + min(0, self.stride * (iterations - 1))
+        hi = self.offset + max(0, self.stride * (iterations - 1)) + self.width
+        return range(lo, hi)

@@ -1,0 +1,12 @@
+"""Analyses and reporting over compiled loops and simulation results."""
+
+from repro.analysis.chains import ChainStats, chain_stats, cmr_car
+from repro.analysis.report import format_table, normalize
+
+__all__ = [
+    "ChainStats",
+    "chain_stats",
+    "cmr_car",
+    "format_table",
+    "normalize",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the experiment drivers and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the baseline entry (Figure 7/9 style)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} is zero")
+    return {key: value / base for key, value in values.items()}

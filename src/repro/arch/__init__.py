@@ -1,0 +1,32 @@
+"""Machine description for the word-interleaved cache clustered VLIW processor.
+
+This subpackage holds the static description of the hardware evaluated in
+the paper (Table 2), plus the two unbalanced bus configurations from
+section 4.2 (NOBAL+MEM and NOBAL+REG).
+"""
+
+from repro.arch.config import (
+    BASELINE_CONFIG,
+    NOBAL_MEM_CONFIG,
+    NOBAL_REG_CONFIG,
+    BusConfig,
+    CacheConfig,
+    FuKind,
+    MachineConfig,
+    MemoryLatencies,
+    NextLevelConfig,
+    named_config,
+)
+
+__all__ = [
+    "BASELINE_CONFIG",
+    "NOBAL_MEM_CONFIG",
+    "NOBAL_REG_CONFIG",
+    "BusConfig",
+    "CacheConfig",
+    "FuKind",
+    "MachineConfig",
+    "MemoryLatencies",
+    "NextLevelConfig",
+    "named_config",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A data-dependence graph is malformed or an operation on it is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The modulo scheduler could not produce a legal schedule."""
+
+
+class TransformError(ReproError):
+    """A DDG transformation (MDC / DDGT / unrolling) failed or is illegal."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """A machine or workload configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A workload/benchmark descriptor is invalid or unknown."""

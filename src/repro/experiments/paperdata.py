@@ -1,0 +1,90 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+These are the values this reproduction checks its *shape* against (who
+wins, by roughly what factor); absolute cycle counts are not comparable
+(different compiler, different simulator calibration, scaled traces).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Table 3 — (CMR, CAR) per benchmark.
+TABLE3: Dict[str, Tuple[float, float]] = {
+    "epicdec": (0.64, 0.22),
+    "g721dec": (0.0, 0.0),
+    "g721enc": (0.0, 0.0),
+    "gsmdec": (0.18, 0.02),
+    "gsmenc": (0.08, 0.01),
+    "jpegdec": (0.46, 0.09),
+    "jpegenc": (0.07, 0.03),
+    "mpeg2dec": (0.13, 0.05),
+    "pegwitdec": (0.27, 0.07),
+    "pegwitenc": (0.35, 0.09),
+    "pgpdec": (0.73, 0.24),
+    "pgpenc": (0.63, 0.21),
+    "rasta": (0.52, 0.26),
+}
+
+#: Table 4 — (delta communication ops DDGT/MDC with PrefClus,
+#: DDGT-over-MDC speedup on the selected loops; None = no loop qualified).
+TABLE4: Dict[str, Tuple[float, Optional[float]]] = {
+    "epicdec": (7.39, 0.183),
+    "g721dec": (1.0, None),
+    "g721enc": (1.0, None),
+    "gsmdec": (1.06, 0.0),
+    "gsmenc": (0.86, 0.302),
+    "jpegdec": (1.31, 0.0),
+    "jpegenc": (1.05, -0.164),
+    "mpeg2dec": (1.05, None),
+    "pegwitdec": (1.02, 0.062),
+    "pegwitenc": (1.29, 0.075),
+    "pgpdec": (1.82, 0.041),
+    "pgpenc": (1.80, 0.041),
+    "rasta": (1.66, 0.107),
+}
+
+#: Table 5 — (OLD CMR, OLD CAR, NEW CMR, NEW CAR) after code
+#: specialization.
+TABLE5: Dict[str, Tuple[float, float, float, float]] = {
+    "epicdec": (0.64, 0.22, 0.20, 0.06),
+    "pgpdec": (0.73, 0.24, 0.52, 0.17),
+    "rasta": (0.52, 0.26, 0.13, 0.06),
+}
+
+#: Figure 6 headline anchors (PrefClus).
+FIGURE6_ANCHORS = {
+    "free_mean_local_hit": 0.625,
+    "mdc_mean_local_hit": 0.532,
+    "ddgt_vs_mdc_local_hit_gain": 0.15,  # "increased by 15%"
+    "epicdec_free_local_hit": 0.60,
+    "epicdec_mdc_local_hit": 0.24,
+}
+
+#: Figure 7 headline anchors.
+FIGURE7_ANCHORS = {
+    "ddgt_stall_reduction_prefclus": 0.32,   # vs MDC, PrefClus
+    "ddgt_compute_increase_prefclus": 0.11,
+    "ddgt_compute_increase_mincoms": 0.10,
+    # winners called out in the text
+    "ddgt_pref_wins": ("epicdec", "pgpdec"),
+    "mdc_min_wins": ("jpegenc", "pegwitdec", "pgpenc", "rasta"),
+}
+
+#: Section 4.2, "other architectural configurations": DDGT(PrefClus)
+#: speedup over the best MDC result under NOBAL+REG.
+NOBAL_REG_SPEEDUPS = {
+    "epicdec": 0.17,
+    "pgpdec": 0.20,
+    "pgpenc": 0.09,
+    "rasta": 0.08,
+}
+
+#: Figure 9 (Attraction Buffers) anchors.
+FIGURE9_ANCHORS = {
+    # MDC outperforms DDGT everywhere except these (sections 5.4 text).
+    "ddgt_wins_with_ab": ("epicdec", "gsmdec"),
+    "epicdec_loop_mdc_local_hit": 0.65,
+    "epicdec_loop_ddgt_local_hit": 0.97,
+    "epicdec_loop_ddgt_speedup": 0.24,
+}

@@ -1,0 +1,57 @@
+"""Table 5 — memory-dependence restrictions before/after code
+specialization (section 6), for the chain-heavy benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.chains import chain_stats, cmr_car
+from repro.analysis.report import format_table
+from repro.experiments import paperdata
+from repro.workloads.catalog import get_benchmark
+from repro.workloads.specialization import specialize_ambiguous
+
+#: Benchmarks the paper applies the (manual) transformation to.
+SPECIALIZED = ("epicdec", "pgpdec", "rasta")
+
+
+@dataclass
+class Table5Result:
+    #: benchmark -> (old cmr, old car, new cmr, new car)
+    rows: Dict[str, Tuple[float, float, float, float]] = field(
+        default_factory=dict
+    )
+
+    def render(self) -> str:
+        headers = ["benchmark", "OLD CMR", "OLD CAR", "NEW CMR", "NEW CAR",
+                   "paper OLD", "paper NEW"]
+        table = []
+        for name, (ocmr, ocar, ncmr, ncar) in self.rows.items():
+            p = paperdata.TABLE5.get(name)
+            table.append([
+                name, ocmr, ocar, ncmr, ncar,
+                f"{p[0]:.2f}/{p[1]:.2f}" if p else "-",
+                f"{p[2]:.2f}/{p[3]:.2f}" if p else "-",
+            ])
+        return format_table(
+            headers, table,
+            title="Table 5: chain restrictions before/after specialization",
+        )
+
+
+def run_table5(benchmarks: Optional[List[str]] = None) -> Table5Result:
+    names = list(benchmarks) if benchmarks is not None else list(SPECIALIZED)
+    result = Table5Result()
+    for name in names:
+        bench = get_benchmark(name)
+        old = cmr_car(bench.chain_table())
+        new_table = []
+        for spec in bench.loops:
+            aggressive = specialize_ambiguous(spec.ddg)
+            new_table.append(
+                (chain_stats(aggressive, with_mem_deps=True), spec.iterations)
+            )
+        new = cmr_car(new_table)
+        result.rows[name] = (old[0], old[1], new[0], new[1])
+    return result

@@ -1,0 +1,26 @@
+"""Loop intermediate representation: instructions, dependence edges, DDG.
+
+The unit of compilation in this reproduction (as in the paper) is an
+innermost-loop body represented as a Data Dependence Graph whose edges are
+typed (register flow, memory flow/anti/output, synchronization) and carry a
+loop-carried *distance*.
+"""
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.edges import DepKind, Edge, MEMORY_DEP_KINDS
+from repro.ir.ddg import Ddg
+from repro.ir.builder import DdgBuilder
+from repro.ir.unroll import unroll
+from repro.ir.verify import verify_ddg
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "DepKind",
+    "Edge",
+    "MEMORY_DEP_KINDS",
+    "Ddg",
+    "DdgBuilder",
+    "unroll",
+    "verify_ddg",
+]

@@ -1,0 +1,145 @@
+"""A small DSL for constructing loop DDGs by hand.
+
+The builder tracks register definitions so that register-flow edges are
+derived from def-use relations automatically, including loop-carried uses
+via :meth:`DdgBuilder.carried`:
+
+    b = DdgBuilder("dot")
+    a   = b.load("a_i", mem=MemRef("a", stride=4))
+    x   = b.load("x_i", mem=MemRef("x", stride=4))
+    p   = b.fmul("p", a, x)
+    acc = b.falu("acc", p, b.carried("acc", distance=1))
+    ddg = b.build()
+
+Memory-dependence edges are *not* added by the builder; call
+:func:`repro.alias.add_memory_dependences` (or add them explicitly) to
+model the compiler's disambiguation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.alias
+    from repro.alias.memref import MemRef
+from repro.ir.ddg import Ddg
+from repro.ir.edges import DepKind
+from repro.ir.instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class CarriedUse:
+    """A use of ``reg`` defined ``distance`` iterations earlier."""
+
+    reg: str
+    distance: int
+
+
+SrcSpec = Union[str, CarriedUse]
+
+
+class DdgBuilder:
+    """Incrementally build a :class:`~repro.ir.ddg.Ddg`."""
+
+    def __init__(self, name: str = "loop") -> None:
+        self._ddg = Ddg(name)
+        self._defs: Dict[str, int] = {}
+        #: (use_src, use_dst, distance) resolved at build() for forward
+        #: references of loop-carried uses.
+        self._pending: list[Tuple[str, int, int]] = []
+
+    # ------------------------------------------------------------------
+    def carried(self, reg: str, distance: int = 1) -> CarriedUse:
+        """Reference ``reg`` as defined ``distance`` iterations earlier."""
+        if distance < 1:
+            raise GraphError("carried uses need distance >= 1")
+        return CarriedUse(reg, distance)
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        opcode: Opcode,
+        dest: Optional[str],
+        srcs: Tuple[SrcSpec, ...],
+        mem: Optional[MemRef] = None,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        src_names = tuple(
+            s.reg if isinstance(s, CarriedUse) else s for s in srcs
+        )
+        instr = self._ddg.add_instruction(
+            opcode, dest=dest, srcs=src_names, mem=mem, name=name
+        )
+        for src in srcs:
+            if isinstance(src, CarriedUse):
+                # Loop-carried: defer, the defining op may come later.
+                self._pending.append((src.reg, instr.iid, src.distance))
+            else:
+                def_iid = self._defs.get(src)
+                if def_iid is None:
+                    raise GraphError(
+                        f"use of undefined register {src!r} by {instr.label}"
+                    )
+                self._ddg.add_edge(def_iid, instr.iid, DepKind.RF, 0)
+        if dest is not None:
+            self._defs[dest] = instr.iid
+        return instr
+
+    # ------------------------------------------------------------------
+    # Public emitters.  Each returns the created Instruction; the ``dest``
+    # register name it defines can be used as a source in later emits.
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        dest: str,
+        *srcs: SrcSpec,
+        mem: MemRef,
+        name: Optional[str] = None,
+    ) -> Instruction:
+        return self._emit(Opcode.LOAD, dest, srcs, mem=mem, name=name)
+
+    def store(
+        self, *srcs: SrcSpec, mem: MemRef, name: Optional[str] = None
+    ) -> Instruction:
+        return self._emit(Opcode.STORE, None, srcs, mem=mem, name=name)
+
+    def ialu(self, dest: str, *srcs: SrcSpec, name: Optional[str] = None):
+        return self._emit(Opcode.IALU, dest, srcs, name=name)
+
+    def imul(self, dest: str, *srcs: SrcSpec, name: Optional[str] = None):
+        return self._emit(Opcode.IMUL, dest, srcs, name=name)
+
+    def falu(self, dest: str, *srcs: SrcSpec, name: Optional[str] = None):
+        return self._emit(Opcode.FALU, dest, srcs, name=name)
+
+    def fmul(self, dest: str, *srcs: SrcSpec, name: Optional[str] = None):
+        return self._emit(Opcode.FMUL, dest, srcs, name=name)
+
+    def fdiv(self, dest: str, *srcs: SrcSpec, name: Optional[str] = None):
+        return self._emit(Opcode.FDIV, dest, srcs, name=name)
+
+    # ------------------------------------------------------------------
+    def mem_dep(
+        self,
+        src: Instruction,
+        dst: Instruction,
+        kind: DepKind,
+        distance: int = 0,
+    ) -> None:
+        """Explicitly add a memory-dependence edge (MF/MA/MO)."""
+        if kind not in (DepKind.MF, DepKind.MA, DepKind.MO):
+            raise GraphError(f"mem_dep expects a memory kind, got {kind}")
+        self._ddg.add_edge(src.iid, dst.iid, kind, distance)
+
+    def build(self) -> Ddg:
+        """Resolve pending loop-carried uses and return the graph."""
+        for reg, dst_iid, distance in self._pending:
+            def_iid = self._defs.get(reg)
+            if def_iid is None:
+                raise GraphError(f"carried use of never-defined register {reg!r}")
+            self._ddg.add_edge(def_iid, dst_iid, DepKind.RF, distance)
+        self._pending.clear()
+        return self._ddg

@@ -1,0 +1,61 @@
+"""Typed dependence edges.
+
+The paper's DDG (section 3.1, Figure 3) distinguishes:
+
+* ``RF`` — register flow: the destination consumes a register value the
+  source produces;
+* ``MF`` — memory flow: store → load that may read the stored value;
+* ``MA`` — memory anti: load → store that may overwrite the loaded value;
+* ``MO`` — memory output: store → store to possibly the same location;
+* ``SYNC`` — synchronization edge introduced by load-store synchronization
+  (section 3.3): the target store may issue no earlier than the source
+  consumer.
+
+Every edge carries a ``distance``: the number of loop iterations the
+dependence spans (``d`` in Figure 3).  An edge ``u -> v`` with distance
+``d`` means instruction ``v`` of iteration ``i`` depends on instruction
+``u`` of iteration ``i - d``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+
+class DepKind(enum.Enum):
+    RF = "RF"
+    MF = "MF"
+    MA = "MA"
+    MO = "MO"
+    SYNC = "SYNC"
+
+
+#: Edge kinds that encode a memory-ordering requirement.
+MEMORY_DEP_KINDS = frozenset({DepKind.MF, DepKind.MA, DepKind.MO})
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A dependence ``src -> dst`` of a given kind and loop-carried distance."""
+
+    src: int
+    dst: int
+    kind: DepKind
+    distance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise GraphError("dependence distance cannot be negative")
+        if self.src == self.dst and self.distance == 0:
+            raise GraphError("zero-distance self dependence is impossible")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in MEMORY_DEP_KINDS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tail = f" d={self.distance}" if self.distance else ""
+        return f"{self.src} -{self.kind.value}-> {self.dst}{tail}"

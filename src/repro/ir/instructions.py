@@ -1,0 +1,161 @@
+"""Instruction definitions for the loop IR.
+
+Instructions are immutable records; all structural information (who depends
+on whom) lives in the :class:`~repro.ir.ddg.Ddg`.  Register names carried by
+``dest``/``srcs`` are symbolic and used by the builder to derive register
+flow edges and by examples for pretty-printing — the scheduler and simulator
+consume only the graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.arch.config import FuKind
+from repro.errors import GraphError
+
+if TYPE_CHECKING:  # avoid a cycle: repro.alias imports repro.ir at runtime
+    from repro.alias.memref import MemRef
+
+
+class Opcode(enum.Enum):
+    """Operation kinds understood by the scheduler and the simulator."""
+
+    LOAD = "load"
+    STORE = "store"
+    IALU = "ialu"
+    IMUL = "imul"
+    FALU = "falu"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    #: explicit inter-cluster register copy inserted by the scheduler
+    COPY = "copy"
+    #: fake consumer created by load-store synchronization (section 3.3);
+    #: behaves like a 1-cycle integer op whose result is discarded
+    FAKE = "fake"
+
+
+#: Opcodes that access the data cache.
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+#: Mapping from opcode to the functional-unit class it occupies.  COPY ops
+#: occupy a register bus instead of a functional unit.
+FU_CLASS = {
+    Opcode.LOAD: FuKind.MEM,
+    Opcode.STORE: FuKind.MEM,
+    Opcode.IALU: FuKind.INT,
+    Opcode.IMUL: FuKind.INT,
+    Opcode.FAKE: FuKind.INT,
+    Opcode.FALU: FuKind.FP,
+    Opcode.FMUL: FuKind.FP,
+    Opcode.FDIV: FuKind.FP,
+}
+
+#: Mnemonic used to look up fixed latencies in the machine config.
+LATENCY_MNEMONIC = {
+    Opcode.STORE: "store",
+    Opcode.IALU: "ialu",
+    Opcode.IMUL: "imul",
+    Opcode.FALU: "falu",
+    Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv",
+    Opcode.FAKE: "ialu",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation of the loop body.
+
+    Attributes
+    ----------
+    iid:
+        Graph-unique id, assigned by the :class:`~repro.ir.ddg.Ddg`.
+    opcode:
+        Operation kind.
+    seq:
+        Sequential-program-order index.  Replicated store instances share
+        the ``seq`` of their original (they are the same store logically),
+        which is what the coherence checker orders accesses by.
+    dest / srcs:
+        Symbolic register names (purely informational).
+    mem:
+        The symbolic memory reference for LOAD/STORE, ``None`` otherwise.
+    origin:
+        For instructions materialized by a transformation (replicated store
+        instances, unroll copies, inserted COPYs, fake consumers): the iid
+        of the instruction they were derived from.
+    required_cluster:
+        Hard cluster placement constraint, used for replicated store
+        instances (one instance per cluster).  ``None`` means the cluster
+        assignment heuristics are free to choose.
+    replica_group:
+        For stores materialized by store replication (section 3.3): the iid
+        of the original store; the original itself carries its own iid.
+        At execution, an instance whose cluster is not the home cluster of
+        the computed address is nullified.  ``None`` for ordinary stores.
+    name:
+        Optional human-readable label (e.g. ``"n3"`` in the paper's
+        Figure 3 example).
+    """
+
+    iid: int
+    opcode: Opcode
+    seq: int
+    dest: Optional[str] = None
+    srcs: Tuple[str, ...] = field(default_factory=tuple)
+    mem: Optional["MemRef"] = None
+    origin: Optional[int] = None
+    required_cluster: Optional[int] = None
+    replica_group: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode in MEMORY_OPCODES and self.mem is None:
+            raise GraphError(f"{self.opcode.value} instruction requires a MemRef")
+        if self.opcode not in MEMORY_OPCODES and self.mem is not None:
+            raise GraphError(f"{self.opcode.value} instruction cannot carry a MemRef")
+        if self.opcode is Opcode.STORE and self.dest is not None:
+            raise GraphError("store instructions do not define a register")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_copy(self) -> bool:
+        return self.opcode is Opcode.COPY
+
+    @property
+    def fu_kind(self) -> Optional[FuKind]:
+        """Functional-unit class occupied, or ``None`` for COPY ops."""
+        return FU_CLASS.get(self.opcode)
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else f"i{self.iid}"
+
+    def pinned_to(self, cluster: int) -> "Instruction":
+        """A copy of this instruction with a hard cluster constraint."""
+        return replace(self, required_cluster=cluster)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.label}: {self.opcode.value}"]
+        if self.dest:
+            parts.append(self.dest + " =")
+        if self.srcs:
+            parts.append(", ".join(self.srcs))
+        if self.mem is not None:
+            parts.append(f"[{self.mem.space}+{self.mem.offset}:{self.mem.stride}]")
+        return " ".join(parts)

@@ -1,0 +1,136 @@
+"""Loop unrolling for memory locality.
+
+The paper (section 2.2) unrolls loops so that the number of memory
+instructions whose stride is a multiple of ``N x I`` (clusters times
+interleave factor) is maximized: after unrolling by the number of clusters,
+an access with stride equal to the interleave unit touches a single cluster
+for the whole loop, so the cluster-assignment heuristics can make it local.
+
+:func:`unroll` performs the graph-level transformation: every instruction
+is copied ``factor`` times, affine memory references of copy ``k`` are
+advanced by ``stride * k`` and have their stride scaled by ``factor``, and
+loop-carried distances are re-normalized to the unrolled iteration space.
+
+:func:`locality_unroll_factor` chooses the factor the paper's heuristic
+implies for a given graph and machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.alias.memref import AccessPattern
+from repro.arch.config import MachineConfig
+from repro.errors import TransformError
+from repro.ir.ddg import Ddg
+from repro.ir.edges import DepKind
+
+
+def unroll(ddg: Ddg, factor: int) -> Ddg:
+    """Return a new DDG unrolled ``factor`` times.
+
+    An edge ``u -> v`` with distance ``d`` in the original loop becomes,
+    for each copy ``k`` of ``v``, an edge from copy ``(k - d) mod factor``
+    of ``u`` with distance ``(d - k + ((k - d) mod factor)) // factor``.
+    """
+    if factor < 1:
+        raise TransformError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return ddg.clone()
+
+    out = Ddg(f"{ddg.name}@x{factor}")
+    # copies[orig_iid][k] -> new iid of copy k
+    copies: Dict[int, Tuple[int, ...]] = {}
+
+    for instr in ddg.in_program_order():
+        new_iids = []
+        for k in range(factor):
+            mem = None
+            if instr.mem is not None:
+                if instr.mem.pattern is AccessPattern.AFFINE:
+                    mem = instr.mem.shifted(instr.mem.stride * k, factor)
+                else:
+                    from dataclasses import replace as _replace
+
+                    mem = _replace(instr.mem, salt=instr.mem.salt + k)
+            new = out.add_instruction(
+                instr.opcode,
+                dest=_suffixed(instr.dest, k),
+                srcs=tuple(_suffixed(s, k) for s in instr.srcs),
+                mem=mem,
+                origin=instr.iid,
+                required_cluster=instr.required_cluster,
+                name=_suffixed(instr.label, k),
+                seq=instr.seq * factor + k * len(ddg),
+            )
+            new_iids.append(new.iid)
+        copies[instr.iid] = tuple(new_iids)
+
+    # Re-normalize seq so that program order is: all copies of iteration 0,
+    # then iteration 1, etc., preserving original order within a copy.
+    _normalize_seq(ddg, out, copies, factor)
+
+    for edge in ddg.edges():
+        for k in range(factor):
+            src_copy = (k - edge.distance) % factor
+            new_distance = (edge.distance - k + src_copy) // factor
+            out.add_edge(
+                copies[edge.src][src_copy],
+                copies[edge.dst][k],
+                edge.kind,
+                new_distance,
+            )
+    return out
+
+
+def _suffixed(reg: Optional[str], k: int) -> Optional[str]:
+    return None if reg is None else f"{reg}.{k}"
+
+
+def _normalize_seq(
+    ddg: Ddg, out: Ddg, copies: Dict[int, Tuple[int, ...]], factor: int
+) -> None:
+    """Assign sequential order: copy 0 of every instruction first (original
+    body order), then copy 1, and so on — i.e. the unrolled body is the
+    original body repeated ``factor`` times."""
+    order = ddg.in_program_order()
+    seq = 0
+    for k in range(factor):
+        for instr in order:
+            new_iid = copies[instr.iid][k]
+            current = out.node(new_iid)
+            if current.seq != seq:
+                from dataclasses import replace
+
+                out.replace_instruction(replace(current, seq=seq))
+            seq += 1
+
+
+def locality_unroll_factor(
+    ddg: Ddg, machine: MachineConfig, max_factor: int = 8
+) -> int:
+    """The unroll factor that maximizes stride-``N x I`` memory accesses.
+
+    For each affine memory instruction with a non-zero stride ``s``, the
+    smallest factor ``u`` with ``s * u % (N * I) == 0`` makes its unrolled
+    copies single-cluster.  We return the factor (capped at ``max_factor``)
+    that helps the largest number of memory instructions; 1 when no access
+    benefits (e.g. all indirect).
+    """
+    target = machine.num_clusters * machine.interleave_bytes
+    votes: Dict[int, int] = {}
+    for instr in ddg.memory_instructions():
+        mem = instr.mem
+        if mem is None or mem.pattern is not AccessPattern.AFFINE:
+            continue
+        if mem.stride == 0:
+            continue  # invariant: already single-cluster
+        for u in range(1, max_factor + 1):
+            if (mem.stride * u) % target == 0:
+                votes[u] = votes.get(u, 0) + 1
+                break
+    if not votes:
+        return 1
+    # Most-voted factor; break ties toward the smaller (cheaper) factor.
+    best = min(sorted(votes), key=lambda u: (-votes[u], u))
+    return best

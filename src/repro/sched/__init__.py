@@ -1,0 +1,40 @@
+"""The clustered modulo scheduler and the paper's two coherence solutions.
+
+Public entry point: :func:`repro.sched.pipeline.compile_loop`, which runs
+the full phase sequence (unrolling, disambiguation, MDC or DDGT, cluster
+assignment, copy insertion, latency assignment, iterative modulo
+scheduling, MinComs post-pass) and returns a
+:class:`~repro.sched.pipeline.CompilationResult`.
+"""
+
+from repro.sched.schedule import Schedule, ScheduledOp, edge_latency
+from repro.sched.mii import minimum_ii, rec_mii, res_mii
+from repro.sched.mdc import MdcResult, apply_mdc, memory_dependent_chains
+from repro.sched.ddgt import DdgtResult, apply_ddgt
+from repro.sched.cluster import ClusterAssignment, assign_clusters
+from repro.sched.pipeline import (
+    CompilationResult,
+    CoherenceMode,
+    Heuristic,
+    compile_loop,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduledOp",
+    "edge_latency",
+    "minimum_ii",
+    "rec_mii",
+    "res_mii",
+    "MdcResult",
+    "apply_mdc",
+    "memory_dependent_chains",
+    "DdgtResult",
+    "apply_ddgt",
+    "ClusterAssignment",
+    "assign_clusters",
+    "CompilationResult",
+    "CoherenceMode",
+    "Heuristic",
+    "compile_loop",
+]

@@ -1,0 +1,146 @@
+"""Cluster assignment heuristics: PrefClus and MinComs (section 2.2).
+
+* **PrefClus** schedules each memory instruction in its *preferred cluster*
+  (the cluster it accesses most, from profiling); memory dependent chains
+  go to the chain's average preferred cluster.  Non-memory instructions are
+  placed to minimize register communications with workload balance.
+* **MinComs** treats memory instructions like any other: every instruction
+  goes to the cluster with the best trade-off between register-to-register
+  communications and workload balance.  A later post-pass
+  (:mod:`repro.sched.postpass`) re-maps the resulting *virtual* clusters
+  onto physical clusters to maximize local accesses.
+
+Hard constraints honored by both: ``required_cluster`` pins (replicated
+store instances) and MDC chain grouping (all members of a chain share one
+cluster).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.alias.profiles import ClusterProfile
+from repro.arch.config import MachineConfig
+from repro.errors import SchedulingError
+from repro.ir.ddg import Ddg
+from repro.ir.edges import DepKind
+from repro.ir.instructions import Instruction
+from repro.sched.mdc import MdcResult
+
+#: Relative weight of one avoided inter-cluster communication versus one
+#: unit of workload imbalance in the greedy placement cost.
+_COMM_WEIGHT = 4.0
+_BALANCE_WEIGHT = 1.0
+
+
+class HeuristicKind(enum.Enum):
+    PREFCLUS = "prefclus"
+    MINCOMS = "mincoms"
+
+
+@dataclass
+class ClusterAssignment:
+    """iid -> cluster map plus bookkeeping used by later phases."""
+
+    cluster_of: Dict[int, int] = field(default_factory=dict)
+    heuristic: HeuristicKind = HeuristicKind.MINCOMS
+
+    def __getitem__(self, iid: int) -> int:
+        return self.cluster_of[iid]
+
+    def __contains__(self, iid: int) -> bool:
+        return iid in self.cluster_of
+
+    def permuted(self, mapping: Dict[int, int]) -> "ClusterAssignment":
+        """Apply a virtual -> physical cluster permutation."""
+        return ClusterAssignment(
+            cluster_of={
+                iid: mapping[c] for iid, c in self.cluster_of.items()
+            },
+            heuristic=self.heuristic,
+        )
+
+
+def assign_clusters(
+    ddg: Ddg,
+    machine: MachineConfig,
+    heuristic: HeuristicKind,
+    profiles: Optional[Dict[int, ClusterProfile]] = None,
+    mdc: Optional[MdcResult] = None,
+) -> ClusterAssignment:
+    """Assign every instruction to a cluster.
+
+    ``profiles`` are required for PrefClus (it has nothing to prefer
+    without them); MinComs ignores them here and uses them in the
+    post-pass.
+    """
+    if heuristic is HeuristicKind.PREFCLUS and profiles is None:
+        raise SchedulingError("PrefClus requires memory profiles")
+
+    assignment = ClusterAssignment(heuristic=heuristic)
+    placed = assignment.cluster_of
+    #: chain index -> cluster, fixed when the chain's first member lands.
+    chain_cluster: Dict[int, int] = {}
+    load = [
+        {kind: 0 for kind in machine.fu_per_cluster}
+        for _ in machine.clusters
+    ]
+
+    def commit(instr: Instruction, cluster: int) -> None:
+        placed[instr.iid] = cluster
+        if instr.fu_kind is not None:
+            load[cluster][instr.fu_kind] = load[cluster].get(instr.fu_kind, 0) + 1
+        if mdc is not None and instr.iid in mdc.group_of:
+            chain_cluster.setdefault(mdc.group_of[instr.iid], cluster)
+
+    def greedy_cluster(instr: Instruction) -> int:
+        """MinComs-style placement: fewest cross-cluster RF edges to the
+        already-placed neighborhood, workload balance as tie-breaker."""
+        neighbors: List[int] = []
+        for edge in ddg.preds(instr.iid):
+            if edge.kind is DepKind.RF and edge.src in placed:
+                neighbors.append(placed[edge.src])
+        for edge in ddg.succs(instr.iid):
+            if edge.kind is DepKind.RF and edge.dst in placed:
+                neighbors.append(placed[edge.dst])
+        best_cluster, best_cost = 0, float("inf")
+        for c in machine.clusters:
+            comms = sum(1 for n in neighbors if n != c)
+            balance = (
+                load[c].get(instr.fu_kind, 0) if instr.fu_kind is not None else 0
+            )
+            cost = _COMM_WEIGHT * comms + _BALANCE_WEIGHT * balance
+            if cost < best_cost:
+                best_cluster, best_cost = c, cost
+        return best_cluster
+
+    def forced_cluster(instr: Instruction) -> Optional[int]:
+        if instr.required_cluster is not None:
+            return instr.required_cluster
+        if mdc is not None:
+            group = mdc.group_of.get(instr.iid)
+            if group is not None:
+                if group in chain_cluster:
+                    return chain_cluster[group]
+                if heuristic is HeuristicKind.PREFCLUS:
+                    return mdc.preferred_cluster.get(group)
+        return None
+
+    for instr in ddg.in_program_order():
+        forced = forced_cluster(instr)
+        if forced is not None:
+            commit(instr, forced)
+            continue
+        if (
+            heuristic is HeuristicKind.PREFCLUS
+            and instr.is_memory
+            and profiles is not None
+            and instr.iid in profiles
+        ):
+            commit(instr, profiles[instr.iid].preferred)
+            continue
+        commit(instr, greedy_cluster(instr))
+
+    return assignment

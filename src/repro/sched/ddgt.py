@@ -1,0 +1,265 @@
+"""Data Dependence Graph Transformations — the DDGT solution (section 3.3).
+
+Two transformations together let the scheduler place every *load* freely
+while still serializing aliased accesses:
+
+* **Store replication** (handles MF and MO dependences).  Every store that
+  is memory dependent on *any other* instruction is replicated ``N - 1``
+  times (``N`` = clusters), each instance pinned to a different cluster,
+  and every input/output dependence of the store is replicated with it.
+  At run time only the instance in the home cluster of the computed address
+  executes; the rest are nullified.  The update therefore always happens
+  locally — immediately — so any posterior aliased load observes it.
+
+* **Load-store synchronization** (handles MA dependences).  An MA edge
+  ``L -> S`` is replaced by a SYNC edge ``cons(L) -> S``: because the
+  machine is stall-on-use, when a consumer of ``L`` has issued, ``L`` has
+  completed, so ``S`` can no longer overwrite the value before the read.
+  When the chosen consumer is itself a memory instruction sequentially
+  posterior to and dependent on ``S`` — the ``n1/n3/n4`` situation of
+  Figure 3 — a *fake consumer* (an integer op that just reads the loaded
+  register) is created to avoid the impossible cycle.
+
+The transformation follows the paper's ``transform_DDG()`` pseudo-code,
+including the two replication subtleties it calls out: a store's MO
+self-dependences are *not* replicated (redundant), while memory
+dependences between two replicated stores are mapped instance-wise (the
+instances living in the same cluster get the edge, which is what
+serializes two aliased stores within each cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.errors import TransformError
+from repro.ir.ddg import Ddg
+from repro.ir.edges import DepKind, Edge, MEMORY_DEP_KINDS
+from repro.ir.instructions import Instruction, Opcode
+
+
+@dataclass
+class DdgtResult:
+    """Outcome of the DDGT transformation.
+
+    ``ddg`` is a transformed *clone* of the input graph.
+    """
+
+    ddg: Ddg
+    #: original store iid -> all instance iids (original first).
+    replicas: Dict[int, List[int]] = field(default_factory=dict)
+    #: iids of fake consumers created by load-store synchronization.
+    fake_consumers: List[int] = field(default_factory=list)
+    #: number of MA edges rewritten into SYNC edges.
+    synchronized: int = 0
+    #: number of MA edges dropped as redundant (covered by an RF edge).
+    redundant_ma: int = 0
+
+    @property
+    def replicated_stores(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(len(v) for v in self.replicas.values())
+
+
+def apply_ddgt(ddg: Ddg, machine: MachineConfig) -> DdgtResult:
+    """Run store replication + load-store synchronization on a clone."""
+    out = ddg.clone(f"{ddg.name}+ddgt")
+    result = DdgtResult(ddg=out)
+    _replicate_stores(out, machine, result)
+    _synchronize_loads_and_stores(out, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Store replication
+# ----------------------------------------------------------------------
+def _dependent_stores(ddg: Ddg) -> List[Instruction]:
+    """Stores with at least one memory dependence on *another* instruction."""
+    dependent = []
+    for store in ddg.stores():
+        edges = ddg.succs(store.iid) + ddg.preds(store.iid)
+        if any(
+            e.kind in MEMORY_DEP_KINDS and not (e.src == e.dst == store.iid)
+            for e in edges
+        ):
+            dependent.append(store)
+    dependent.sort(key=lambda s: (s.seq, s.iid))
+    return dependent
+
+
+def _replicate_stores(
+    ddg: Ddg, machine: MachineConfig, result: DdgtResult
+) -> None:
+    n = machine.num_clusters
+    stores = _dependent_stores(ddg)
+    replicated: Set[int] = {s.iid for s in stores}
+
+    # First materialize every instance so instance-wise edges can be added
+    # between two replicated stores in a second phase.
+    for store in stores:
+        # The original becomes instance 0, pinned to cluster 0.
+        ddg.replace_instruction(
+            replace(store, required_cluster=0, replica_group=store.iid)
+        )
+        instances = [store.iid]
+        for k in range(1, n):
+            inst = ddg.add_instruction(
+                Opcode.STORE,
+                srcs=store.srcs,
+                mem=store.mem,
+                origin=store.iid,
+                required_cluster=k,
+                replica_group=store.iid,
+                name=f"{store.label}.r{k}",
+                seq=store.seq,
+            )
+            instances.append(inst.iid)
+        result.replicas[store.iid] = instances
+
+    # Now replicate the dependences.
+    for store in stores:
+        instances = result.replicas[store.iid]
+        for edge in list(ddg.preds(store.iid)) + list(ddg.succs(store.iid)):
+            _replicate_edge(ddg, edge, store.iid, instances, result, replicated)
+
+
+def _replicate_edge(
+    ddg: Ddg,
+    edge: Edge,
+    original: int,
+    instances: List[int],
+    result: DdgtResult,
+    replicated: Set[int],
+) -> None:
+    """Copy one dependence of a replicated store onto its instances.
+
+    * self MO edges are skipped (the paper's "redundant dependences");
+    * memory edges between two replicated stores are added instance-wise
+      (same-cluster instances get the edge) — the paper's "newly created
+      dependences" between instances of n3 and n4;
+    * every other edge is fanned out to all instances.
+    """
+    if edge.src == edge.dst == original:
+        return  # self dependence: redundant after replication
+
+    incoming = edge.dst == original
+    other = edge.src if incoming else edge.dst
+
+    if edge.kind in MEMORY_DEP_KINDS and other in replicated and other != original:
+        other_instances = result.replicas[other]
+        for mine, theirs in zip(instances, other_instances):
+            if incoming:
+                ddg.add_edge(theirs, mine, edge.kind, edge.distance)
+            else:
+                ddg.add_edge(mine, theirs, edge.kind, edge.distance)
+        return
+
+    # Fan the edge out to the new instances (instance 0 keeps the original
+    # edge, which is already in the graph).
+    for inst in instances[1:]:
+        if incoming:
+            ddg.add_edge(other, inst, edge.kind, edge.distance)
+        else:
+            ddg.add_edge(inst, other, edge.kind, edge.distance)
+
+
+# ----------------------------------------------------------------------
+# Load-store synchronization
+# ----------------------------------------------------------------------
+def _synchronize_loads_and_stores(ddg: Ddg, result: DdgtResult) -> None:
+    """Rewrite every MA edge into a SYNC edge per the paper's pseudo-code."""
+    #: load iid -> fake consumer iid, shared across that load's MA edges.
+    fakes: Dict[int, int] = {}
+
+    for edge in [e for e in ddg.edges() if e.kind is DepKind.MA]:
+        load = ddg.node(edge.src)
+        store = ddg.node(edge.dst)
+        if not load.is_load or not store.is_store:
+            raise TransformError(f"malformed MA edge {edge}")
+
+        if ddg.has_edge(load.iid, store.iid, DepKind.RF) and any(
+            e.kind is DepKind.RF and e.distance == edge.distance
+            for e in ddg.succs(load.iid)
+            if e.dst == store.iid
+        ):
+            # Redundant: the store already waits for the load's value
+            # (the n1 -> n4 case of Figure 3).
+            ddg.remove_edge(edge)
+            result.redundant_ma += 1
+            continue
+
+        cons = _select_consumer(ddg, load, store)
+        if cons is None or _needs_fake_consumer(ddg, cons, store):
+            cons_iid = fakes.get(load.iid)
+            if cons_iid is None:
+                cons_iid = _create_fake_consumer(ddg, load, result)
+                fakes[load.iid] = cons_iid
+        else:
+            cons_iid = cons.iid
+
+        ddg.add_edge(cons_iid, store.iid, DepKind.SYNC, edge.distance)
+        ddg.remove_edge(edge)
+        result.synchronized += 1
+
+
+def _select_consumer(
+    ddg: Ddg, load: Instruction, store: Instruction
+) -> Optional[Instruction]:
+    """Pick one consumer of the load — "if possible, not a store"."""
+    consumers = [
+        c for c in ddg.consumers(load.iid) if c.iid != store.iid
+    ]
+    if not consumers:
+        return None
+    consumers.sort(key=lambda c: (c.is_store, c.is_memory, c.seq, c.iid))
+    return consumers[0]
+
+
+def _needs_fake_consumer(ddg: Ddg, cons: Instruction, store: Instruction) -> bool:
+    """The impossible-loop condition: the consumer is a memory instruction,
+    sequentially posterior to the store, and (transitively) dependent on
+    it — synchronizing through it would create an unschedulable cycle."""
+    if not cons.is_memory:
+        return False
+    if cons.seq <= store.seq:
+        return False
+    return _reachable(ddg, store.iid, cons.iid)
+
+
+def _reachable(ddg: Ddg, src: int, dst: int) -> bool:
+    """Is there any dependence path src ->* dst?"""
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        for edge in ddg.succs(node):
+            if edge.dst == dst:
+                return True
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                frontier.append(edge.dst)
+    return False
+
+
+def _create_fake_consumer(
+    ddg: Ddg, load: Instruction, result: DdgtResult
+) -> int:
+    """Materialize the fake consumer: an integer op reading the load's
+    destination (the paper's ``add r0 = r0 + r27`` example)."""
+    dest_reg = load.dest if load.dest is not None else f"ld{load.iid}"
+    fake = ddg.add_instruction(
+        Opcode.FAKE,
+        dest="r0",
+        srcs=(dest_reg,),
+        origin=load.iid,
+        name=f"{load.label}.sync",
+        seq=load.seq,
+    )
+    ddg.add_edge(load.iid, fake.iid, DepKind.RF, 0)
+    result.fake_consumers.append(fake.iid)
+    return fake.iid

@@ -1,0 +1,146 @@
+"""Minimum initiation interval bounds.
+
+``ResMII`` counts operations against the machine's functional units and the
+register buses; ``RecMII`` is the recurrence bound: the smallest II such
+that no dependence cycle has positive total ``latency - II * distance``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.arch.config import FuKind, MachineConfig
+from repro.errors import SchedulingError
+from repro.ir.ddg import Ddg
+from repro.sched.schedule import edge_latency
+
+
+def res_mii(ddg: Ddg, machine: MachineConfig) -> int:
+    """Resource-constrained lower bound on the II.
+
+    Clusters are homogeneous, so the classic bound uses pooled units; for
+    pinned instructions (replicated store instances) a per-cluster bound is
+    also applied, since pinning removes the scheduler's freedom to spread
+    them.
+    """
+    per_kind: Dict[FuKind, int] = {kind: 0 for kind in FuKind}
+    per_cluster_kind: Dict[tuple, int] = {}
+    copies = 0
+    for instr in ddg:
+        if instr.is_copy:
+            copies += 1
+            continue
+        kind = instr.fu_kind
+        per_kind[kind] = per_kind.get(kind, 0) + 1
+        if instr.required_cluster is not None:
+            key = (instr.required_cluster, kind)
+            per_cluster_kind[key] = per_cluster_kind.get(key, 0) + 1
+
+    bound = 1
+    for kind, count in per_kind.items():
+        units = machine.fu_per_cluster.get(kind, 0) * machine.num_clusters
+        if count and not units:
+            raise SchedulingError(f"graph uses {kind} but machine has none")
+        if count:
+            bound = max(bound, math.ceil(count / units))
+    for (cluster, kind), count in per_cluster_kind.items():
+        units = machine.fu_per_cluster.get(kind, 0)
+        if count and not units:
+            raise SchedulingError(f"graph pins {kind} ops, machine has none")
+        if count:
+            bound = max(bound, math.ceil(count / units))
+    if copies:
+        buses = machine.register_buses
+        bound = max(bound, math.ceil(copies * buses.latency / buses.count))
+    return bound
+
+
+def assignment_res_mii(ddg: Ddg, machine: MachineConfig, assignment) -> int:
+    """Resource lower bound once clusters are fixed.
+
+    After cluster assignment the pooled bound of :func:`res_mii` can be far
+    too optimistic — e.g. an MDC chain concentrates every memory op of the
+    chain in one cluster, so that cluster's single memory unit bounds the
+    II.  ``assignment`` is any mapping supporting ``assignment[iid]``.
+    """
+    per_cluster_kind: Dict[tuple, int] = {}
+    copies = 0
+    for instr in ddg:
+        if instr.is_copy:
+            copies += 1
+            continue
+        key = (assignment[instr.iid], instr.fu_kind)
+        per_cluster_kind[key] = per_cluster_kind.get(key, 0) + 1
+    bound = 1
+    for (cluster, kind), count in per_cluster_kind.items():
+        units = machine.fu_per_cluster.get(kind, 0)
+        if count and not units:
+            raise SchedulingError(f"{kind} ops assigned, machine has no {kind}")
+        if count:
+            bound = max(bound, math.ceil(count / units))
+    if copies:
+        buses = machine.register_buses
+        bound = max(bound, math.ceil(copies * buses.latency / buses.count))
+    return bound
+
+
+def rec_mii(
+    ddg: Ddg,
+    machine: MachineConfig,
+    assumed_latency: Optional[Dict[int, int]] = None,
+    max_ii: int = 512,
+) -> int:
+    """Recurrence-constrained lower bound on the II.
+
+    Found by binary search over II with a positive-cycle test on edge
+    weights ``latency - II * distance`` (Bellman-Ford style relaxation).
+    """
+    edges = [
+        (e.src, e.dst, edge_latency(e, ddg, machine, assumed_latency), e.distance)
+        for e in ddg.edges()
+    ]
+    if not any(d for *_rest, d in edges):
+        return 1  # acyclic graph: no recurrence bound
+
+    def feasible(ii: int) -> bool:
+        return not _has_positive_cycle(ddg, edges, ii)
+
+    lo, hi = 1, max_ii
+    if not feasible(hi):
+        raise SchedulingError(
+            f"recurrence unschedulable even at II={max_ii}; "
+            "graph has a cycle with zero total distance?"
+        )
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _has_positive_cycle(ddg: Ddg, edges, ii: int) -> bool:
+    """Longest-path relaxation: converges iff no positive-weight cycle."""
+    dist = {instr.iid: 0 for instr in ddg}
+    n = len(dist)
+    for round_ in range(n):
+        changed = False
+        for src, dst, lat, d in edges:
+            w = lat - ii * d
+            if dist[src] + w > dist[dst]:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def minimum_ii(
+    ddg: Ddg,
+    machine: MachineConfig,
+    assumed_latency: Optional[Dict[int, int]] = None,
+) -> int:
+    """``max(ResMII, RecMII)`` — the scheduler's starting II."""
+    return max(res_mii(ddg, machine), rec_mii(ddg, machine, assumed_latency))

@@ -1,0 +1,186 @@
+"""Iterative modulo scheduling (Rau-style, with ejection).
+
+The scheduler consumes a DDG whose instructions already carry a cluster
+assignment.  For a candidate II it places operations highest-priority
+first (priority = dependence height), each within a window of II slots
+starting at its earliest legal time; when no slot has a free resource the
+operation is force-placed and the conflicting/violated operations are
+ejected and re-queued.  A placement budget bounds the search; on failure
+the II is increased, up to ``MAX_II_SLACK`` above the lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.errors import SchedulingError
+from repro.ir.ddg import Ddg
+from repro.sched.cluster import ClusterAssignment
+from repro.sched.mii import minimum_ii
+from repro.sched.schedule import (
+    ReservationTable,
+    Schedule,
+    ScheduledOp,
+    edge_latency,
+)
+
+#: How far above max(ResMII, RecMII) the scheduler will search.
+MAX_II_SLACK = 64
+#: Placement attempts allowed per candidate II, per operation.
+BUDGET_FACTOR = 12
+
+
+def modulo_schedule(
+    ddg: Ddg,
+    machine: MachineConfig,
+    assignment: ClusterAssignment,
+    assumed_latency: Optional[Dict[int, int]] = None,
+    min_ii: Optional[int] = None,
+) -> Schedule:
+    """Produce a valid modulo schedule; raise SchedulingError if impossible
+    within the II search window."""
+    assumed = dict(assumed_latency or {})
+    lower = minimum_ii(ddg, machine, assumed)
+    if min_ii is not None:
+        lower = max(lower, min_ii)
+    for ii in range(lower, lower + MAX_II_SLACK + 1):
+        ops = _try_ii(ddg, machine, assignment, assumed, ii)
+        if ops is not None:
+            return Schedule(
+                ii=ii,
+                ops=ops,
+                ddg=ddg,
+                machine=machine,
+                assumed_latency=assumed,
+            )
+    raise SchedulingError(
+        f"no schedule found for {ddg.name!r} within II in "
+        f"[{lower}, {lower + MAX_II_SLACK}]"
+    )
+
+
+# ----------------------------------------------------------------------
+def _edge_weights(
+    ddg: Ddg, machine: MachineConfig, assumed: Dict[int, int]
+) -> List[Tuple[int, int, int, int]]:
+    return [
+        (e.src, e.dst, edge_latency(e, ddg, machine, assumed), e.distance)
+        for e in ddg.edges()
+    ]
+
+
+def _heights(
+    ddg: Ddg, weights, ii: int
+) -> Dict[int, int]:
+    """Dependence height of each node at this II (longest outgoing path
+    with weights ``lat - II * distance``); the scheduling priority."""
+    height = {instr.iid: 0 for instr in ddg}
+    n = len(height)
+    for _ in range(n):
+        changed = False
+        for src, dst, lat, d in weights:
+            w = lat - ii * d
+            if height[dst] + w > height[src]:
+                height[src] = height[dst] + w
+                changed = True
+        if not changed:
+            break
+    else:
+        # Positive cycle: this II is below the recurrence bound.
+        raise SchedulingError(f"positive dependence cycle at II={ii}")
+    return height
+
+
+def _try_ii(
+    ddg: Ddg,
+    machine: MachineConfig,
+    assignment: ClusterAssignment,
+    assumed: Dict[int, int],
+    ii: int,
+) -> Optional[Dict[int, ScheduledOp]]:
+    weights = _edge_weights(ddg, machine, assumed)
+    try:
+        height = _heights(ddg, weights, ii)
+    except SchedulingError:
+        return None
+
+    preds: Dict[int, List[Tuple[int, int, int]]] = {v.iid: [] for v in ddg}
+    succs: Dict[int, List[Tuple[int, int, int]]] = {v.iid: [] for v in ddg}
+    for src, dst, lat, d in weights:
+        preds[dst].append((src, lat, d))
+        succs[src].append((dst, lat, d))
+
+    table = ReservationTable(machine, ii)
+    placed: Dict[int, ScheduledOp] = {}
+    last_time: Dict[int, int] = {}  # previous placement, for retry floor
+    budget = BUDGET_FACTOR * max(1, len(ddg))
+
+    pending: Set[int] = {v.iid for v in ddg}
+
+    def pick_next() -> int:
+        return max(pending, key=lambda iid: (height[iid], -iid))
+
+    def earliest_start(iid: int) -> int:
+        start = 0
+        for src, lat, d in preds[iid]:
+            if src in placed:
+                start = max(start, placed[src].time + lat - ii * d)
+        return start
+
+    def eject(iid: int) -> None:
+        op = placed.pop(iid)
+        table.remove(ddg.node(iid), op.cluster, op.time)
+        pending.add(iid)
+
+    while pending:
+        if budget <= 0:
+            return None
+        budget -= 1
+        iid = pick_next()
+        pending.discard(iid)
+        instr = ddg.node(iid)
+        cluster = assignment[iid]
+
+        start = earliest_start(iid)
+        floor = last_time.get(iid)
+        if floor is not None and floor + 1 > start:
+            start = floor + 1
+
+        chosen = None
+        for t in range(start, start + ii):
+            if table.fits(instr, cluster, t):
+                chosen = t
+                break
+        if chosen is None:
+            chosen = start
+            for victim in table.conflicting_ops(instr, cluster, chosen):
+                eject(victim)
+
+        table.place(instr, cluster, chosen)
+        placed[iid] = ScheduledOp(iid=iid, cluster=cluster, time=chosen)
+        last_time[iid] = chosen
+
+        # Eject successors whose dependence the new placement violates.
+        for dst, lat, d in succs[iid]:
+            if dst in placed and dst != iid:
+                if placed[dst].time < chosen + lat - ii * d:
+                    eject(dst)
+        # Predecessor constraints were honoured via earliest_start for the
+        # scheduled ones; unscheduled predecessors will see this node when
+        # their own earliest_start is computed... but a predecessor placed
+        # *later* in time is fine only if its edge allows it — handled when
+        # the predecessor is (re)placed, by ejecting ITS violated
+        # successors, which includes this node.
+
+    # Normalize: shift so the earliest op starts at time 0 (keeps slot
+    # structure: shifting by a multiple of II only; otherwise keep as is).
+    min_time = min(op.time for op in placed.values())
+    if min_time:
+        shift = (min_time // ii) * ii
+        if shift:
+            placed = {
+                iid: ScheduledOp(op.iid, op.cluster, op.time - shift)
+                for iid, op in placed.items()
+            }
+    return placed

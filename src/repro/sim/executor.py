@@ -1,0 +1,262 @@
+"""The stall-on-use VLIW core: executes a modulo schedule cycle by cycle.
+
+Execution model (section 2.1 + modulo semantics):
+
+* the machine is a single flow of control in lockstep across clusters;
+  instance ``i`` of operation ``v`` issues at kernel index
+  ``t(v) + i * II``; one kernel index is retired per non-stalled cycle;
+* *stall-on-use*: issue blocks — for the whole machine — when any operation
+  due this cycle consumes a load value that has not arrived yet; the memory
+  system keeps advancing during stalls;
+* only loads have non-deterministic completion times, so only direct
+  register consumers of loads can stall (every fixed-latency producer is
+  separated from its consumers by at least its latency in kernel indexes,
+  and stalls can only widen the real-time gap).
+
+Cycle accounting matches Figures 7/9: ``compute_cycles`` counts retired
+kernel indexes, ``stall_cycles`` counts blocked cycles.  The drain of
+in-flight memory traffic after the last issue is not charged to either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.alias.profiles import TraceLike
+from repro.errors import SimulationError
+from repro.ir.edges import DepKind
+from repro.sched.pipeline import CompilationResult
+from repro.sim.coherence import CoherenceChecker, ViolationCounts
+from repro.sim.interleave import home_cluster
+from repro.sim.memory import MemorySystem
+from repro.sim.stats import SimStats
+
+#: Consecutive stalled cycles after which the simulation is declared hung.
+STALL_WATCHDOG = 100_000
+
+
+@dataclass
+class SimulationResult:
+    """Statistics plus context for one simulated loop execution."""
+
+    stats: SimStats
+    ii: int
+    stage_count: int
+    iterations: int
+    violations: Optional[ViolationCounts] = None
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.stats.compute_cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.stats.stall_cycles
+
+
+@dataclass
+class _OpInfo:
+    """Pre-resolved per-operation execution info."""
+
+    iid: int
+    cluster: int
+    time: int
+    is_load: bool = False
+    is_store: bool = False
+    width: int = 4
+    replica: bool = False
+    seq: int = 0
+    #: (load iid, distance) pairs this op must wait for (stall-on-use)
+    load_preds: Tuple[Tuple[int, int], ...] = ()
+
+
+def simulate(
+    compilation: CompilationResult,
+    trace: TraceLike,
+    iterations: Optional[int] = None,
+    check_coherence: bool = True,
+    flush_abs: bool = True,
+) -> SimulationResult:
+    """Run a compiled loop against an execution address trace."""
+    schedule = compilation.schedule
+    machine = compilation.machine
+    ddg = compilation.ddg
+    ii = schedule.ii
+
+    n_iter = trace.num_iterations if iterations is None else iterations
+    if n_iter < 1:
+        raise SimulationError("need at least one iteration")
+    if n_iter > trace.num_iterations:
+        raise SimulationError(
+            f"trace provides {trace.num_iterations} iterations, "
+            f"{n_iter} requested"
+        )
+
+    checker = (
+        CoherenceChecker(ddg, trace, n_iter) if check_coherence else None
+    )
+    stats = SimStats()
+    memory = MemorySystem(machine, stats, checker)
+
+    ops_by_slot = _prepare(compilation)
+    total_indexes = schedule.length + (n_iter - 1) * ii
+
+    #: load completions: iid -> {iteration: cycle or None while in flight}
+    completions: Dict[int, Dict[int, Optional[int]]] = {
+        instr.iid: {} for instr in ddg.loads()
+    }
+
+    index = 0
+    cycle = 0
+    stall_streak = 0
+    while index < total_indexes or not memory.quiescent():
+        memory.tick_begin(cycle)
+        if index < total_indexes:
+            due = _due_ops(ops_by_slot, index, ii, n_iter)
+            if _all_ready(due, completions, cycle):
+                for info, iteration in due:
+                    _issue(
+                        info, iteration, cycle, trace, memory, completions, stats
+                    )
+                index += 1
+                stats.compute_cycles += 1
+                stall_streak = 0
+                if index % 4096 == 0:
+                    _prune(completions, index, ii, schedule.length)
+            else:
+                stats.stall_cycles += 1
+                stall_streak += 1
+                if stall_streak > STALL_WATCHDOG:
+                    raise SimulationError(
+                        f"machine stalled for {stall_streak} cycles at "
+                        f"kernel index {index}"
+                    )
+        memory.tick_end(cycle)
+        cycle += 1
+
+    if flush_abs:
+        memory.flush_attraction_buffers()
+
+    return SimulationResult(
+        stats=stats,
+        ii=ii,
+        stage_count=schedule.stage_count,
+        iterations=n_iter,
+        violations=checker.counts if checker else None,
+    )
+
+
+# ----------------------------------------------------------------------
+def _prepare(compilation: CompilationResult) -> List[List[_OpInfo]]:
+    """Bucket scheduled ops by modulo slot with pre-resolved issue info."""
+    schedule = compilation.schedule
+    ddg = compilation.ddg
+    buckets: List[List[_OpInfo]] = [[] for _ in range(schedule.ii)]
+    for op in schedule.ops.values():
+        instr = ddg.node(op.iid)
+        load_preds = tuple(
+            (e.src, e.distance)
+            for e in ddg.preds(op.iid)
+            if e.kind is DepKind.RF and ddg.node(e.src).is_load
+        )
+        info = _OpInfo(
+            iid=op.iid,
+            cluster=op.cluster,
+            time=op.time,
+            is_load=instr.is_load,
+            is_store=instr.is_store,
+            width=instr.mem.width if instr.mem is not None else 4,
+            replica=instr.replica_group is not None,
+            seq=instr.seq,
+            load_preds=load_preds,
+        )
+        buckets[op.time % schedule.ii].append(info)
+    for bucket in buckets:
+        # Within one cycle, reads happen before writes (an MA-dependent
+        # store scheduled in the same cycle as the load must not clobber
+        # the value first — the paper's "at the same time" case).
+        bucket.sort(key=lambda info: (info.is_store, info.iid))
+    return buckets
+
+
+def _due_ops(
+    ops_by_slot: List[List[_OpInfo]], index: int, ii: int, n_iter: int
+) -> List[Tuple[_OpInfo, int]]:
+    due = []
+    for info in ops_by_slot[index % ii]:
+        iteration, rem = divmod(index - info.time, ii)
+        if rem == 0 and 0 <= iteration < n_iter:
+            due.append((info, iteration))
+    return due
+
+
+def _all_ready(
+    due: List[Tuple[_OpInfo, int]],
+    completions: Dict[int, Dict[int, Optional[int]]],
+    cycle: int,
+) -> bool:
+    for info, iteration in due:
+        for load_iid, distance in info.load_preds:
+            j = iteration - distance
+            if j < 0:
+                continue
+            done = completions[load_iid].get(j, 0)
+            if done is None or done > cycle:
+                return False
+    return True
+
+
+def _issue(
+    info: _OpInfo,
+    iteration: int,
+    cycle: int,
+    trace: TraceLike,
+    memory: MemorySystem,
+    completions: Dict[int, Dict[int, Optional[int]]],
+    stats: SimStats,
+) -> None:
+    stats.issued_ops += 1
+    if info.is_load:
+        addr = trace.address(info.iid, iteration)
+        slot = completions[info.iid]
+        slot[iteration] = None
+
+        def on_complete(done: int, _slot=slot, _it=iteration) -> None:
+            _slot[_it] = done
+
+        memory.load(
+            info.cluster, addr, info.width, info.iid, iteration, on_complete, cycle
+        )
+    elif info.is_store:
+        addr = trace.address(info.iid, iteration)
+        memory.store(
+            info.cluster,
+            addr,
+            info.width,
+            info.iid,
+            iteration,
+            (iteration, info.seq),
+            info.replica,
+            cycle,
+        )
+
+
+def _prune(
+    completions: Dict[int, Dict[int, Optional[int]]],
+    index: int,
+    ii: int,
+    length: int,
+) -> None:
+    """Drop completion records no consumer can still reference."""
+    horizon = (index - length) // ii - 8
+    if horizon <= 0:
+        return
+    for per_load in completions.values():
+        stale = [it for it, done in per_load.items() if it < horizon and done is not None]
+        for it in stale:
+            del per_load[it]

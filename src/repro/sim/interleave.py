@@ -1,0 +1,53 @@
+"""Word-interleaved address mapping (paper section 2.1, Figure 1).
+
+A cache block of ``block_bytes`` is split across the ``N`` clusters in
+``interleave_bytes`` units: unit ``k`` of a block belongs to cluster
+``k mod N``.  The words of one block owned by one cluster form that
+cluster's *subblock* of the block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.config import MachineConfig
+
+
+def home_cluster(machine: MachineConfig, address: int) -> int:
+    """The cluster whose cache module owns ``address``."""
+    return (address // machine.interleave_bytes) % machine.num_clusters
+
+
+def block_id(machine: MachineConfig, address: int) -> int:
+    """Cache-block number of ``address``."""
+    return address // machine.cache.block_bytes
+
+
+def subblock_id(machine: MachineConfig, address: int) -> Tuple[int, int]:
+    """Identifier of the subblock containing ``address``:
+    ``(block id, home cluster)``."""
+    return block_id(machine, address), home_cluster(machine, address)
+
+
+def subblock_addresses(machine: MachineConfig, block: int, cluster: int) -> List[int]:
+    """Start addresses of the interleave units of ``block`` owned by
+    ``cluster`` (e.g. words 0 and 4 of an 8-word block for cluster 1 of 4,
+    as in the paper's Figure 1 example)."""
+    base = block * machine.cache.block_bytes
+    step = machine.interleave_bytes * machine.num_clusters
+    first_unit = base // machine.interleave_bytes
+    # Align to the first unit of this block owned by `cluster`.
+    offset_units = (cluster - first_unit) % machine.num_clusters
+    start = base + offset_units * machine.interleave_bytes
+    end = base + machine.cache.block_bytes
+    return list(range(start, end, step))
+
+
+def spans_clusters(machine: MachineConfig, address: int, width: int) -> bool:
+    """Whether an access crosses an interleave-unit boundary (and therefore
+    touches more than one cluster).  The workloads keep accesses aligned so
+    this never happens, mirroring the paper's aligned media kernels; the
+    memory system asserts it."""
+    first = address // machine.interleave_bytes
+    last = (address + width - 1) // machine.interleave_bytes
+    return first != last

@@ -1,0 +1,109 @@
+"""Simulation statistics.
+
+The two headline decompositions the paper reports:
+
+* **memory access classification** (Figure 6): every access is exactly one
+  of local hit / remote hit / local miss / remote miss / combined (the
+  second access to an already-requested, still-pending subblock);
+* **cycle split** (Figures 7 and 9): compute cycles (the machine issued a
+  kernel slot) vs stall cycles (issue blocked on a not-yet-arrived load
+  value).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class AccessType(enum.Enum):
+    LOCAL_HIT = "local_hit"
+    REMOTE_HIT = "remote_hit"
+    LOCAL_MISS = "local_miss"
+    REMOTE_MISS = "remote_miss"
+    COMBINED = "combined"
+
+
+@dataclass
+class SimStats:
+    """Counters collected by one simulation run."""
+
+    accesses: Dict[AccessType, int] = field(
+        default_factory=lambda: {t: 0 for t in AccessType}
+    )
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+    #: instances actually executed (nullified store replicas excluded)
+    issued_ops: int = 0
+    nullified_stores: int = 0
+    coherence_violations: int = 0
+    ab_hits: int = 0
+    ab_fills: int = 0
+    ab_overflows: int = 0
+    ab_flushed_dirty: int = 0
+    bus_transfers: int = 0
+    bus_queued_cycles: int = 0
+    next_level_requests: int = 0
+
+    # ------------------------------------------------------------------
+    def record_access(self, kind: AccessType) -> None:
+        self.accesses[kind] += 1
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses.values())
+
+    @property
+    def local_hit_ratio(self) -> float:
+        """Share of all memory accesses that were local hits (Figure 6's
+        headline metric)."""
+        total = self.total_accesses
+        if not total:
+            return 0.0
+        return self.accesses[AccessType.LOCAL_HIT] / total
+
+    def access_fractions(self) -> Dict[AccessType, float]:
+        total = self.total_accesses
+        if not total:
+            return {t: 0.0 for t in AccessType}
+        return {t: n / total for t, n in self.accesses.items()}
+
+    def merged_with(self, other: "SimStats") -> "SimStats":
+        """Aggregate two runs (used to combine a benchmark's loops)."""
+        merged = SimStats()
+        for kind in AccessType:
+            merged.accesses[kind] = self.accesses[kind] + other.accesses[kind]
+        for name in (
+            "compute_cycles",
+            "stall_cycles",
+            "issued_ops",
+            "nullified_stores",
+            "coherence_violations",
+            "ab_hits",
+            "ab_fills",
+            "ab_overflows",
+            "ab_flushed_dirty",
+            "bus_transfers",
+            "bus_queued_cycles",
+            "next_level_requests",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def describe(self) -> str:
+        frac = self.access_fractions()
+        lines = [
+            f"cycles: {self.total_cycles} "
+            f"(compute {self.compute_cycles}, stall {self.stall_cycles})",
+            "accesses: "
+            + ", ".join(
+                f"{t.value} {self.accesses[t]} ({frac[t]:.1%})" for t in AccessType
+            ),
+            f"coherence violations: {self.coherence_violations}",
+        ]
+        return "\n".join(lines)

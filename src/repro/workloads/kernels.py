@@ -1,0 +1,331 @@
+"""Loop-kernel DDG templates.
+
+These templates generate the loop shapes that dominate the Mediabench
+programs of Table 1 (media filters, codec table lookups, reductions,
+in-place transforms, crypto big-number update loops).  The catalog
+composes and calibrates them per benchmark so that the chain statistics
+(Table 3), the access mix (Figure 6) and the cycle behaviour (Figure 7)
+have the right shape.
+
+All templates share conventions:
+
+* a loop-carried address-generation op (``i = i + 1``) feeds every memory
+  instruction — the register communications the DDGT transformation
+  multiplies (Table 4) come from these and from store-value producers;
+* every load gets at least one non-store register consumer, so load-store
+  synchronization normally finds a real consumer and fake consumers appear
+  only in the paper's pathological pattern;
+* filler compute ops alternate between the integer and floating-point
+  units so they model real media compute without making one unit the
+  accidental bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.alias.disambiguation import DEFAULT_HORIZON
+from repro.alias.memref import AccessPattern, MemRef
+from repro.errors import WorkloadError
+from repro.ir.builder import DdgBuilder
+from repro.ir.ddg import Ddg
+
+
+def _add_agen(b: DdgBuilder) -> str:
+    """The induction-variable update every memory op consumes."""
+    b.ialu("i", b.carried("i", 1), name="agen")
+    return "i"
+
+
+def _add_filler(b: DdgBuilder, count: int, seed_reg: str) -> None:
+    """Attach ``count`` compute ops, alternating INT/FP, in short dependent
+    runs of four hanging off ``seed_reg``."""
+    prev = seed_reg
+    for j in range(count):
+        dest = f"f{j}"
+        if j % 2:
+            b.falu(dest, prev, name=f"fill{j}")
+        else:
+            b.ialu(dest, prev, name=f"fill{j}")
+        prev = dest if (j + 1) % 4 else seed_reg
+
+
+# ----------------------------------------------------------------------
+def streaming_kernel(
+    name: str = "stream",
+    n_loads: int = 2,
+    n_stores: int = 1,
+    width: int = 4,
+    compute_depth: int = 1,
+    filler_compute: int = 0,
+    fp: bool = False,
+    taps: int = 1,
+    reuse_offset: int = 16,
+) -> Ddg:
+    """Independent input/output streams: ``out_k[i] = f(in_0[i], ...)``.
+
+    No two references share a space with a store, so the kernel is
+    chain-free — the bread-and-butter media loop where memory ops can go
+    anywhere.  With ``taps > 1`` each input stream is read at ``taps``
+    offsets spaced ``reuse_offset`` apart (a sliding window): the trailing
+    taps hit the blocks the leading tap fetched in earlier iterations,
+    which sets the kernel's cache hit ratio (windowed media loops reuse
+    their inputs; pure memcpy does not).
+    """
+    if n_loads < 1:
+        raise WorkloadError("streaming kernel needs at least one load")
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    load_regs: List[str] = []
+    for k in range(n_loads):
+        for t in range(max(1, taps)):
+            reg = f"in{k}_{t}" if taps > 1 else f"in{k}"
+            b.load(
+                reg,
+                agen,
+                mem=MemRef(
+                    f"src{k}",
+                    offset=t * reuse_offset,
+                    stride=width,
+                    width=width,
+                ),
+                name=f"ld{k}_{t}" if taps > 1 else f"ld{k}",
+            )
+            load_regs.append(reg)
+    value = load_regs[0]
+    for d in range(compute_depth):
+        dest = f"v{d}"
+        other = load_regs[(d + 1) % n_loads]
+        if fp:
+            b.falu(dest, value, other, name=f"op{d}")
+        else:
+            b.ialu(dest, value, other, name=f"op{d}")
+        value = dest
+    for k in range(n_stores):
+        b.store(value, agen, mem=MemRef(f"dst{k}", stride=width, width=width),
+                name=f"st{k}")
+    _add_filler(b, filler_compute, value)
+    return b.build()
+
+
+def copy_kernel(name: str = "copy", width: int = 4) -> Ddg:
+    """``dst[i] = src[i]`` — the minimal chain-free memory loop."""
+    return streaming_kernel(name, n_loads=1, n_stores=1, width=width,
+                            compute_depth=1)
+
+
+def reduction_kernel(
+    name: str = "reduce",
+    n_loads: int = 2,
+    width: int = 4,
+    filler_compute: int = 0,
+) -> Ddg:
+    """Dot-product style: loads, multiplies, a carried FP accumulation."""
+    if n_loads < 1:
+        raise WorkloadError("reduction kernel needs at least one load")
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    prods: List[str] = []
+    for k in range(n_loads):
+        reg = f"in{k}"
+        b.load(reg, agen, mem=MemRef(f"vec{k}", stride=width, width=width),
+               name=f"ld{k}")
+        prods.append(reg)
+    value = prods[0]
+    if n_loads > 1:
+        b.fmul("prod", prods[0], prods[1], name="mul")
+        value = "prod"
+    b.falu("acc", value, b.carried("acc", 1), name="acc")
+    _add_filler(b, filler_compute, value)
+    return b.build()
+
+
+def table_lookup_kernel(
+    name: str = "lookup",
+    n_lookups: int = 2,
+    width: int = 2,
+    table_bytes: int = 1024,
+    filler_compute: int = 0,
+) -> Ddg:
+    """Codec-style read-only table lookups: an affine index stream plus
+    indirect loads into a table.  Loads only — chain-free (Table 3 shows
+    g721's CMR of exactly 0)."""
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    b.load("idx", agen, mem=MemRef("indices", stride=width, width=width),
+           name="ldidx")
+    value = "idx"
+    for k in range(n_lookups):
+        reg = f"t{k}"
+        b.load(
+            reg,
+            "idx",
+            mem=MemRef(
+                "table",
+                width=width,
+                pattern=AccessPattern.INDIRECT,
+                spread=table_bytes,
+                salt=k,
+            ),
+            name=f"lut{k}",
+        )
+        b.ialu(f"c{k}", reg, value, name=f"use{k}")
+        value = f"c{k}"
+    _add_filler(b, filler_compute, value)
+    return b.build()
+
+
+def inplace_stencil_kernel(
+    name: str = "stencil",
+    taps: int = 3,
+    width: int = 4,
+    filler_compute: int = 0,
+) -> Ddg:
+    """In-place neighborhood update: ``a[i+c] = f(a[i], ..., a[i+taps-1])``.
+
+    The references are affine and *analyzable*: the disambiguator derives
+    the true flow/anti dependences, producing a small genuine memory
+    dependent chain of ``taps + 1`` instructions — the shape behind the
+    small-but-nonzero CMR benchmarks (gsm, jpeg-enc, mpeg2).
+    """
+    if taps < 1:
+        raise WorkloadError("stencil needs at least one tap")
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    regs = []
+    for k in range(taps):
+        reg = f"a{k}"
+        b.load(reg, agen,
+               mem=MemRef("line", offset=k * width, stride=width, width=width),
+               name=f"tap{k}")
+        regs.append(reg)
+    value = regs[0]
+    for k in range(1, taps):
+        b.falu(f"s{k}", value, regs[k], name=f"mix{k}")
+        value = f"s{k}"
+    center = (taps // 2) * width
+    b.store(value, agen,
+            mem=MemRef("line", offset=center, stride=width, width=width),
+            name="stc")
+    _add_filler(b, filler_compute, value)
+    return b.build()
+
+
+def chain_kernel(
+    name: str = "chain",
+    ladders: Sequence[int] = (12,),
+    width: int = 4,
+    lane_stride: int = 16,
+    store_every: int = 3,
+    filler_compute: int = 0,
+    ambiguous: bool = True,
+    space: str = "buf",
+    rotating: Sequence[int] = (),
+) -> Ddg:
+    """Read-modify-write *ladders* over one buffer, accessed through
+    pointers the compiler cannot disambiguate — the big-chain loops of
+    epicdec, pgp and rasta.
+
+    Each ladder of length ``L`` touches offsets ``base + t * lane_stride``
+    for ``t in 0..L-1`` with per-iteration stride ``lane_stride``: element
+    ``t`` of iteration ``i`` is element ``t+1`` of iteration ``i-1``, so
+    the ladder carries *true* flow/anti dependences at distances within
+    the analysis horizon and forms a genuine memory dependent chain of
+    ``L`` instructions.  ``lane_stride`` defaults to clusters x interleave
+    (16 bytes), which keeps every ladder single-home; ladder ``j`` is
+    based so its home cluster is ``j mod 4`` — the workload spreads over
+    the machine under free scheduling but collapses into one cluster under
+    MDC.
+
+    With ``ambiguous=True`` the *first* reference of each ladder is an
+    unanalyzable pointer: the disambiguator serializes it against every
+    other reference of the buffer, which glues all ladders into one big
+    chain (sum of ladder lengths) while the ladder interiors keep their
+    precise dependences.  Code specialization (section 6) removes the
+    ambiguity, leaving per-ladder chains — the biggest NEW chain of
+    Table 5 is ``max(ladders)``.
+
+    Ladders whose index appears in ``rotating`` use half the lane stride,
+    so their accesses alternate between *two* home clusters.  Under free
+    scheduling their preferred cluster is right only half the time; store
+    replication (DDGT) turns their stores fully local — the mechanism by
+    which DDGT's local hit ratio exceeds even unrestricted scheduling
+    (section 4.2's Figure 6 discussion).
+    """
+    if not ladders or any(length < 1 for length in ladders):
+        raise WorkloadError("ladders must be a non-empty list of positive lengths")
+    if lane_stride % 4:
+        raise WorkloadError("lane_stride must be a multiple of the word size")
+
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    home_step = lane_stride // 4  # one interleave unit on the paper machine
+    #: ladder bases are far apart so ladder sweeps only collide dozens of
+    #: iterations apart (benign), yet rotate over home clusters.
+    ladder_gap = lane_stride * 64
+    op_index = 0
+    value = agen
+    rotating_set = set(rotating)
+    for j, length in enumerate(ladders):
+        # Base parity scheme: normal ladders sit on even interleave units
+        # (homes 0/2), rotating ladders on odd ones (homes 1/3).  Gaps
+        # between normal and rotating bases are then never congruent to a
+        # rotating stride multiple, so the GCD disambiguation test proves
+        # the ladders independent once the ambiguity is specialized away.
+        if j in rotating_set:
+            base = j * ladder_gap + home_step + (j % 2) * 2 * home_step
+            step = lane_stride // 2
+        else:
+            base = j * ladder_gap + (j % 2) * 2 * home_step
+            step = lane_stride
+        for t in range(length):
+            mem = MemRef(
+                space,
+                offset=base + t * step,
+                stride=step,
+                width=width,
+                ambiguous=ambiguous and t == 0,
+            )
+            # Single-op ladders stay loads: they model reads through an
+            # unanalyzable pointer that the ambiguity glues to the chain
+            # (the multi-home chains behind the gsmdec anecdote of §4.2).
+            is_store = (t % store_every) == store_every - 1 or (
+                t == length - 1 and 2 <= length < store_every
+            )
+            if is_store:
+                b.store(value, agen, mem=mem, name=f"st{op_index}")
+            else:
+                reg = f"m{op_index}"
+                b.load(reg, agen, mem=mem, name=f"ld{op_index}")
+                b.ialu(f"u{op_index}", reg, name=f"use{op_index}")
+                value = f"u{op_index}"
+            op_index += 1
+    _add_filler(b, filler_compute, value)
+    return b.build()
+
+
+def table_update_kernel(
+    name: str = "histogram",
+    width: int = 4,
+    table_bytes: int = 512,
+    filler_compute: int = 0,
+) -> Ddg:
+    """Histogram-style read-modify-write of a random table slot.
+
+    The indirect load and store share the same pseudo-random address
+    stream (same space/offset/salt), so they form a genuine two-element
+    memory dependent chain with uniformly random home clusters.
+    """
+    b = DdgBuilder(name)
+    agen = _add_agen(b)
+    slot = MemRef(
+        "table",
+        width=width,
+        pattern=AccessPattern.INDIRECT,
+        spread=table_bytes,
+    )
+    b.load("old", agen, mem=slot, name="ldslot")
+    b.ialu("new", "old", name="bump")
+    b.store("new", agen, mem=slot, name="stslot")
+    _add_filler(b, filler_compute, "new")
+    return b.build()

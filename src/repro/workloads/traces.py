@@ -1,0 +1,142 @@
+"""Deterministic address traces.
+
+An :class:`AddressTrace` evaluates the symbolic :class:`MemRef` of every
+memory instruction in a graph against a per-space base-address map, making
+it usable both by the profiler and the cycle-level simulator.  The same
+graph with different ``seed``/``base`` parameters models the paper's
+distinct *profile* and *execution* data sets (Table 1): affine references
+keep their structure but shift origin, indirect references draw a
+different pseudo-random stream.
+
+Traces are deterministic functions of (seed, space, salt, iteration) —
+repeated runs and replicated store instances (which share their MemRef)
+see identical addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.alias.memref import AccessPattern
+from repro.errors import WorkloadError
+from repro.ir.ddg import Ddg
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """SplitMix64 finalizer — a fast, well-distributed integer hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _mix(seed: int, space_hash: int, salt: int, iteration: int) -> int:
+    return _splitmix64(
+        seed ^ _splitmix64(space_hash ^ _splitmix64(salt ^ iteration))
+    )
+
+
+#: Gap between consecutive space base addresses; large enough that spaces
+#: never overlap for any workload footprint.
+SPACE_GAP = 1 << 22
+#: Base addresses are aligned to block_bytes * max clusters so that the
+#: home cluster of offset 0 is cluster 0 — the paper's "padding" that keeps
+#: preferred-cluster information consistent across data sets.
+BASE_ALIGN = 256
+#: Per-space stagger (whole cache blocks) so different spaces start in
+#: different cache sets — SPACE_GAP is a multiple of every module's set
+#: span, so without the stagger all streams would collide in set 0.
+SET_STAGGER = 256
+
+
+class AddressTrace:
+    """Concrete per-(instruction, iteration) addresses for one graph."""
+
+    def __init__(
+        self,
+        ddg: Ddg,
+        num_iterations: int,
+        seed: int = 0,
+        base_of: Optional[Dict[str, int]] = None,
+        padded: bool = True,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        padded:
+            When true (the paper's default), space bases stay aligned
+            across seeds, so an affine reference's home-cluster pattern is
+            identical between profile and execution runs.  When false,
+            each seed shifts bases by a different number of interleave
+            units — modeling *unpadded* data where the profiled preferred
+            cluster can be wrong at execution time.
+        """
+        if num_iterations < 0:
+            raise WorkloadError("negative iteration count")
+        self._ddg = ddg
+        self.num_iterations = num_iterations
+        self.seed = seed
+        self._bases: Dict[str, int] = {}
+
+        spaces = sorted(
+            {v.mem.space for v in ddg.memory_instructions() if v.mem is not None}
+        )
+        for index, space in enumerate(spaces):
+            if base_of and space in base_of:
+                base = base_of[space]
+            else:
+                base = BASE_ALIGN + index * (SPACE_GAP + SET_STAGGER)
+                if not padded:
+                    shift = _mix(seed, hash(space) & _MASK64, 0, 0) % 64
+                    base += shift * 4
+            self._bases[space] = base
+        self._space_hash = {
+            space: _splitmix64(sum(ord(c) << (8 * (i % 8)) for i, c in enumerate(space)))
+            for space in spaces
+        }
+
+    # ------------------------------------------------------------------
+    def base(self, space: str) -> int:
+        try:
+            return self._bases[space]
+        except KeyError:
+            raise WorkloadError(f"unknown space {space!r}") from None
+
+    def address(self, iid: int, iteration: int) -> int:
+        mem = self._ddg.node(iid).mem
+        if mem is None:
+            raise WorkloadError(f"instruction {iid} is not a memory op")
+        base = self.base(mem.space)
+        if mem.pattern is AccessPattern.AFFINE:
+            return base + mem.offset + mem.stride * iteration
+        slots = max(1, mem.spread // mem.width)
+        pick = _mix(
+            self.seed, self._space_hash[mem.space], mem.salt, iteration
+        ) % slots
+        return base + mem.offset + pick * mem.width
+
+
+def trace_factory(
+    num_iterations: int,
+    seed: int = 0,
+    base_of: Optional[Dict[str, int]] = None,
+    padded: bool = True,
+) -> Callable[[Ddg], AddressTrace]:
+    """A factory suitable for :func:`repro.sched.pipeline.compile_loop`'s
+    ``trace_factory`` argument and for building execution traces."""
+
+    def build(ddg: Ddg) -> AddressTrace:
+        return AddressTrace(
+            ddg,
+            num_iterations=num_iterations,
+            seed=seed,
+            base_of=base_of,
+            padded=padded,
+        )
+
+    return build

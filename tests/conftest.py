@@ -1,0 +1,72 @@
+"""Shared fixtures: the paper's Figure 3 example graph and small machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alias import MemRef
+from repro.arch import BASELINE_CONFIG, MachineConfig
+from repro.ir import DdgBuilder, DepKind
+
+
+def build_figure3():
+    """The example DDG of the paper's Figure 3.
+
+    Five nodes — two loads (n1, n2), two stores (n3, n4), one add (n5) —
+    with the register and memory dependences drawn in the figure:
+
+    * RF n1->n4 (n4 stores the value n1 loads), RF n2->n5;
+    * MA (d0): n1->n3, n1->n4, n2->n3, n2->n4;
+    * MF (d1): n3->n1, n3->n2, n4->n2;
+    * MO: n3->n4 (d0), n4->n3 (d1), and the d1 self loops on both stores.
+
+    Returns (ddg, nodes) where nodes maps "n1".."n5" to Instructions.
+    """
+    b = DdgBuilder("figure3")
+    mem = dict(space="A", stride=4, width=4, ambiguous=True)
+    n1 = b.load("r27", mem=MemRef(offset=0, **mem), name="n1")
+    n2 = b.load("r2", mem=MemRef(offset=16, **mem), name="n2")
+    n3 = b.store(mem=MemRef(offset=32, **mem), name="n3")
+    n4 = b.store("r27", mem=MemRef(offset=48, **mem), name="n4")
+    n5 = b.ialu("r5", "r2", name="n5")
+    # The builder derived RF n1->n4 (n4 sources r27) and RF n2->n5
+    # automatically; n3 has no register inputs in the figure.
+    b.mem_dep(n1, n3, DepKind.MA, 0)
+    b.mem_dep(n1, n4, DepKind.MA, 0)
+    b.mem_dep(n2, n3, DepKind.MA, 0)
+    b.mem_dep(n2, n4, DepKind.MA, 0)
+    b.mem_dep(n3, n1, DepKind.MF, 1)
+    b.mem_dep(n3, n2, DepKind.MF, 1)
+    b.mem_dep(n4, n2, DepKind.MF, 1)
+    b.mem_dep(n3, n4, DepKind.MO, 0)
+    b.mem_dep(n4, n3, DepKind.MO, 1)
+    b.mem_dep(n3, n3, DepKind.MO, 1)
+    b.mem_dep(n4, n4, DepKind.MO, 1)
+    ddg = b.build()
+    return ddg, {"n1": n1, "n2": n2, "n3": n3, "n4": n4, "n5": n5}
+
+
+@pytest.fixture
+def figure3():
+    return build_figure3()
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return BASELINE_CONFIG
+
+
+def build_simple_stream():
+    """A tiny chain-free loop: d[i] = a[i] + b[i]."""
+    b = DdgBuilder("stream")
+    b.ialu("i", b.carried("i", 1), name="agen")
+    b.load("a", "i", mem=MemRef("A", stride=4), name="lda")
+    b.load("x", "i", mem=MemRef("B", stride=4), name="ldb")
+    b.ialu("s", "a", "x", name="add")
+    b.store("s", "i", mem=MemRef("C", stride=4), name="st")
+    return b.build()
+
+
+@pytest.fixture
+def stream_loop():
+    return build_simple_stream()

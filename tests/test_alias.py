@@ -1,0 +1,190 @@
+"""Memory model tests: MemRef, disambiguation, profiling."""
+
+import pytest
+
+from repro.alias import (
+    AccessPattern,
+    MemRef,
+    add_memory_dependences,
+    may_alias,
+    remove_memory_dependences,
+)
+from repro.alias.disambiguation import _affine_distances
+from repro.alias.profiles import ClusterProfile, profile_preferred_clusters
+from repro.arch import BASELINE_CONFIG
+from repro.errors import ConfigError, WorkloadError
+from repro.ir import DdgBuilder, DepKind, Edge
+from repro.workloads import trace_factory
+
+
+class TestMemRef:
+    def test_affine_address(self):
+        ref = MemRef("A", offset=8, stride=4)
+        assert ref.address(1000, 0) == 1008
+        assert ref.address(1000, 5) == 1028
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigError):
+            MemRef("A", width=3)
+
+    def test_indirect_needs_spread(self):
+        with pytest.raises(ConfigError):
+            MemRef("A", pattern=AccessPattern.INDIRECT, spread=0)
+
+    def test_shifted(self):
+        ref = MemRef("A", offset=4, stride=4).shifted(8, 4)
+        assert ref.offset == 12 and ref.stride == 16
+
+    def test_footprint(self):
+        ref = MemRef("A", offset=0, stride=4, width=4)
+        assert ref.footprint(10) == range(0, 40)
+
+
+class TestMayAlias:
+    def test_different_spaces_never_alias(self):
+        assert not may_alias(MemRef("A"), MemRef("B", ambiguous=True))
+
+    def test_ambiguous_always_aliases_same_space(self):
+        assert may_alias(MemRef("A", ambiguous=True), MemRef("A", offset=999))
+
+    def test_disjoint_equal_stride_streams(self):
+        a = MemRef("A", offset=0, stride=16, width=4)
+        b = MemRef("A", offset=4, stride=16, width=4)
+        assert not may_alias(a, b)
+
+    def test_same_stream_shifted_by_stride(self):
+        a = MemRef("A", offset=0, stride=16, width=4)
+        b = MemRef("A", offset=16, stride=16, width=4)
+        assert may_alias(a, b)
+
+
+class TestAffineDistances:
+    def test_same_iteration_collision(self):
+        a = MemRef("A", offset=0, stride=8, width=4)
+        b = MemRef("A", offset=0, stride=8, width=4)
+        assert _affine_distances(a, b, 4) == [0]
+
+    def test_carried_collision_direction(self):
+        # b reads one stride ahead of a: a@(j+1) hits b@j -> k = +1.
+        a = MemRef("A", offset=0, stride=8, width=4)
+        b = MemRef("A", offset=8, stride=8, width=4)
+        assert _affine_distances(a, b, 4) == [1]
+
+    def test_horizon_cuts_far_dependences(self):
+        a = MemRef("A", offset=0, stride=8, width=4)
+        b = MemRef("A", offset=80, stride=8, width=4)  # 10 strides away
+        assert _affine_distances(a, b, 4) == []
+
+
+class TestAddMemoryDependences:
+    def test_stencil_direction_regression(self):
+        """A store feeding next iteration's load must produce an MF edge
+        *from the store to the load* (regression for a swapped-direction
+        bug that made every mode read stale values)."""
+        b = DdgBuilder()
+        load = b.load("x", mem=MemRef("L", offset=0, stride=4), name="ld")
+        b.ialu("y", "x", name="f")
+        store = b.store("y", mem=MemRef("L", offset=4, stride=4), name="st")
+        ddg = b.build()
+        add_memory_dependences(ddg)
+        mf = [e for e in ddg.edges() if e.kind is DepKind.MF]
+        assert mf == [Edge(store.iid, load.iid, DepKind.MF, 1)]
+        ma = [e for e in ddg.edges() if e.kind is DepKind.MA]
+        # load@j reads what store@j-? ... check the anti direction exists
+        # with the right endpoints whenever present.
+        for e in ma:
+            assert ddg.node(e.src).is_load and ddg.node(e.dst).is_store
+
+    def test_load_load_pairs_ignored(self):
+        b = DdgBuilder()
+        b.load("x", mem=MemRef("A", offset=0, stride=4), name="l1")
+        b.load("y", mem=MemRef("A", offset=0, stride=4), name="l2")
+        ddg = b.build()
+        assert add_memory_dependences(ddg) == 0
+
+    def test_ambiguous_store_gets_self_mo(self):
+        b = DdgBuilder()
+        b.store(mem=MemRef("A", ambiguous=True), name="st")
+        ddg = b.build()
+        add_memory_dependences(ddg)
+        self_edges = [e for e in ddg.edges() if e.src == e.dst]
+        assert len(self_edges) == 1
+        assert self_edges[0].kind is DepKind.MO
+        assert self_edges[0].distance == 1
+
+    def test_ambiguous_pair_fully_serialized(self):
+        b = DdgBuilder()
+        load = b.load("x", mem=MemRef("A", offset=0, stride=4,
+                                      ambiguous=True), name="ld")
+        store = b.store(mem=MemRef("A", offset=400, stride=4), name="st")
+        ddg = b.build()
+        add_memory_dependences(ddg)
+        kinds = {(e.src, e.dst, e.kind, e.distance) for e in ddg.edges()}
+        assert (load.iid, store.iid, DepKind.MA, 0) in kinds
+        assert (store.iid, load.iid, DepKind.MF, 1) in kinds
+
+    def test_invariant_store_self_dependence(self):
+        b = DdgBuilder()
+        b.store(mem=MemRef("A", stride=0), name="st")
+        ddg = b.build()
+        add_memory_dependences(ddg)
+        assert any(e.src == e.dst and e.kind is DepKind.MO
+                   for e in ddg.edges())
+
+    def test_remove_only_ambiguous(self):
+        b = DdgBuilder()
+        l1 = b.load("x", mem=MemRef("A", offset=4, stride=4), name="l1")
+        s1 = b.store("x", mem=MemRef("A", offset=0, stride=4), name="s1")
+        l2 = b.load("y", mem=MemRef("B", ambiguous=True), name="l2")
+        s2 = b.store("y", mem=MemRef("B", ambiguous=True), name="s2")
+        ddg = b.build()
+        add_memory_dependences(ddg)
+        total = len(ddg.memory_edges())
+        removed = remove_memory_dependences(ddg, only_ambiguous=True)
+        assert removed > 0
+        remaining = ddg.memory_edges()
+        assert len(remaining) == total - removed
+        assert all(
+            not ddg.node(e.src).mem.ambiguous
+            and not ddg.node(e.dst).mem.ambiguous
+            for e in remaining
+        )
+
+
+class TestProfiles:
+    def test_profile_counts_home_clusters(self, stream_loop):
+        trace = trace_factory(64, seed=1)(stream_loop)
+        profiles = profile_preferred_clusters(
+            stream_loop, trace, BASELINE_CONFIG
+        )
+        assert len(profiles) == 3  # two loads + one store
+        for profile in profiles.values():
+            assert profile.total == 64
+            assert len(profile.counts) == 4
+
+    def test_single_home_stream_prefers_one_cluster(self):
+        b = DdgBuilder()
+        b.load("x", mem=MemRef("A", stride=16), name="ld")  # lane stride
+        ddg = b.build()
+        trace = trace_factory(32, seed=1)(ddg)
+        profiles = profile_preferred_clusters(ddg, trace, BASELINE_CONFIG)
+        profile = next(iter(profiles.values()))
+        assert max(profile.counts) == 32  # all accesses in one cluster
+        assert profile.fraction(profile.preferred) == 1.0
+
+    def test_combine(self):
+        a = ClusterProfile((10, 0, 0, 0))
+        b = ClusterProfile((0, 30, 0, 0))
+        combined = ClusterProfile.combine([a, b])
+        assert combined.counts == (10, 30, 0, 0)
+        assert combined.preferred == 1
+
+    def test_combine_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            ClusterProfile.combine([])
+
+    def test_combine_mismatched_raises(self):
+        with pytest.raises(WorkloadError):
+            ClusterProfile.combine([
+                ClusterProfile((1, 2)), ClusterProfile((1, 2, 3))
+            ])

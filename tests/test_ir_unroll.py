@@ -1,0 +1,120 @@
+"""Loop unrolling tests, including the edge re-normalization math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alias import AccessPattern, MemRef
+from repro.arch import BASELINE_CONFIG
+from repro.errors import TransformError
+from repro.ir import DdgBuilder, DepKind, unroll
+from repro.ir.unroll import locality_unroll_factor
+from repro.ir.verify import verify_ddg
+
+
+def simple_carried_loop(distance: int):
+    b = DdgBuilder("carried")
+    b.ialu("acc", b.carried("acc", distance), name="acc")
+    b.load("x", "acc", mem=MemRef("A", stride=4), name="ld")
+    return b.build()
+
+
+class TestUnrollStructure:
+    def test_factor_one_is_clone(self, stream_loop):
+        out = unroll(stream_loop, 1)
+        assert len(out) == len(stream_loop)
+        assert len(out.edges()) == len(stream_loop.edges())
+
+    def test_invalid_factor(self, stream_loop):
+        with pytest.raises(TransformError):
+            unroll(stream_loop, 0)
+
+    def test_node_and_edge_counts_scale(self, stream_loop):
+        factor = 4
+        out = unroll(stream_loop, factor)
+        assert len(out) == factor * len(stream_loop)
+        assert len(out.edges()) == factor * len(stream_loop.edges())
+        verify_ddg(out)
+
+    def test_seq_is_body_repeated(self, stream_loop):
+        out = unroll(stream_loop, 2)
+        order = [v.origin for v in out.in_program_order()]
+        originals = [v.iid for v in stream_loop.in_program_order()]
+        assert order == originals + originals
+
+
+class TestUnrollDistances:
+    def test_distance1_becomes_cross_copy(self):
+        ddg = simple_carried_loop(1)
+        out = unroll(ddg, 4)
+        accs = [v for v in out.in_program_order() if v.name.startswith("acc")]
+        # acc.k depends on acc.(k-1) within the new iteration, acc.0 on
+        # acc.3 of the previous one.
+        for k in range(1, 4):
+            edges = [e for e in out.preds(accs[k].iid) if e.kind is DepKind.RF
+                     and e.src == accs[k - 1].iid]
+            assert edges and edges[0].distance == 0
+        wrap = [e for e in out.preds(accs[0].iid) if e.src == accs[3].iid]
+        assert wrap and wrap[0].distance == 1
+
+    def test_distance_equal_factor_stays_loop_carried(self):
+        ddg = simple_carried_loop(2)
+        out = unroll(ddg, 2)
+        accs = [v for v in out.in_program_order() if v.name.startswith("acc")]
+        # distance 2, factor 2: each copy depends on itself one new
+        # iteration back.
+        for acc in accs:
+            self_edge = [e for e in out.preds(acc.iid) if e.src == acc.iid]
+            assert self_edge and self_edge[0].distance == 1
+
+
+class TestUnrollMemRefs:
+    def test_affine_offsets_shift_and_stride_scales(self, stream_loop):
+        out = unroll(stream_loop, 4)
+        loads = [v for v in out.in_program_order()
+                 if v.is_load and v.mem.space == "A"]
+        assert [v.mem.offset for v in loads] == [0, 4, 8, 12]
+        assert all(v.mem.stride == 16 for v in loads)
+
+    def test_indirect_salt_decorrelates(self):
+        b = DdgBuilder()
+        b.load("x", mem=MemRef("T", width=4, pattern=AccessPattern.INDIRECT,
+                               spread=64), name="lut")
+        out = unroll(b.build(), 4)
+        salts = sorted(v.mem.salt for v in out if v.is_load)
+        assert salts == [0, 1, 2, 3]
+
+
+class TestLocalityFactor:
+    def test_word_stream_unrolls_by_clusters(self, stream_loop):
+        # stride 4, interleave 4, 4 clusters: factor 4 makes accesses
+        # single-cluster.
+        assert locality_unroll_factor(stream_loop, BASELINE_CONFIG) == 4
+
+    def test_lane_stride_needs_no_unroll(self):
+        b = DdgBuilder()
+        b.load("x", mem=MemRef("A", stride=16), name="ld")
+        assert locality_unroll_factor(b.build(), BASELINE_CONFIG) == 1
+
+    def test_no_memory_ops(self):
+        b = DdgBuilder()
+        b.ialu("x", b.carried("x", 1))
+        assert locality_unroll_factor(b.build(), BASELINE_CONFIG) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(factor=st.integers(1, 6), distance=st.integers(1, 4))
+def test_unroll_preserves_total_distance(factor, distance):
+    """Sum of re-normalized distances over the copy cycle equals the
+    original distance: following the carried chain around all copies must
+    cross iteration boundaries exactly ``distance`` times."""
+    ddg = simple_carried_loop(distance)
+    out = unroll(ddg, factor)
+    accs = [v for v in out.in_program_order() if v.name.startswith("acc")]
+    total = 0
+    for acc in accs:
+        for e in out.preds(acc.iid):
+            if e.kind is DepKind.RF and out.node(e.src).name.startswith("acc"):
+                total += e.distance
+    assert total == distance
+    verify_ddg(out)

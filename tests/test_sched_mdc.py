@@ -1,0 +1,76 @@
+"""Memory Dependent Chains tests (paper section 3.2)."""
+
+from repro.alias import MemRef
+from repro.alias.profiles import ClusterProfile
+from repro.ir import DdgBuilder, DepKind
+from repro.sched import apply_mdc, memory_dependent_chains
+
+
+class TestChainConstruction:
+    def test_figure3_forms_one_chain(self, figure3):
+        ddg, nodes = figure3
+        chains = memory_dependent_chains(ddg)
+        assert len(chains) == 1
+        assert chains[0] == {
+            nodes[k].iid for k in ("n1", "n2", "n3", "n4")
+        }
+
+    def test_independent_ops_form_no_chain(self, stream_loop):
+        assert memory_dependent_chains(stream_loop) == []
+
+    def test_self_edge_does_not_create_chain(self):
+        b = DdgBuilder()
+        st = b.store(mem=MemRef("A", ambiguous=True), name="st")
+        ddg = b.build()
+        ddg.add_edge(st.iid, st.iid, DepKind.MO, 1)
+        assert memory_dependent_chains(ddg) == []
+
+    def test_two_separate_chains(self):
+        b = DdgBuilder()
+        l1 = b.load("a", mem=MemRef("A"), name="l1")
+        s1 = b.store("a", mem=MemRef("A"), name="s1")
+        l2 = b.load("b", mem=MemRef("B"), name="l2")
+        s2 = b.store("b", mem=MemRef("B"), name="s2")
+        b.mem_dep(l1, s1, DepKind.MA)
+        b.mem_dep(l2, s2, DepKind.MA)
+        ddg = b.build()
+        chains = memory_dependent_chains(ddg)
+        assert sorted(len(c) for c in chains) == [2, 2]
+
+    def test_chains_deterministic_order(self, figure3):
+        ddg, _ = figure3
+        assert memory_dependent_chains(ddg) == memory_dependent_chains(ddg)
+
+
+class TestApplyMdc:
+    def test_group_of_covers_chain_members(self, figure3):
+        ddg, nodes = figure3
+        result = apply_mdc(ddg)
+        assert set(result.group_of) == {
+            nodes[k].iid for k in ("n1", "n2", "n3", "n4")
+        }
+        assert nodes["n5"].iid not in result.group_of
+
+    def test_average_preferred_cluster(self, figure3):
+        """Paper's example: the chain's combined profile picks cluster 3
+        (index 2 zero-based) — the 'average preferred cluster'."""
+        ddg, nodes = figure3
+        profiles = {
+            nodes["n1"].iid: ClusterProfile((70, 30, 0, 0)),
+            nodes["n2"].iid: ClusterProfile((20, 50, 30, 0)),
+            nodes["n3"].iid: ClusterProfile((0, 0, 100, 0)),
+            nodes["n4"].iid: ClusterProfile((0, 10, 20, 70)),
+        }
+        result = apply_mdc(ddg, profiles)
+        assert result.preferred_cluster[0] == 2  # cluster "3" in the paper
+
+    def test_graph_not_modified(self, figure3):
+        ddg, _ = figure3
+        before = len(ddg.edges())
+        apply_mdc(ddg)
+        assert len(ddg.edges()) == before
+
+    def test_biggest_chain(self, figure3):
+        ddg, _ = figure3
+        result = apply_mdc(ddg)
+        assert len(result.biggest_chain()) == 4

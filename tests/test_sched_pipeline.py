@@ -1,0 +1,186 @@
+"""End-to-end compilation pipeline tests (cluster heuristics, copies,
+post-pass, latency policy)."""
+
+import pytest
+
+from repro.alias import MemRef
+from repro.alias.profiles import ClusterProfile
+from repro.arch import BASELINE_CONFIG
+from repro.errors import SchedulingError
+from repro.ir import DdgBuilder, DepKind
+from repro.sched import CoherenceMode, Heuristic, compile_loop
+from repro.sched.cluster import assign_clusters
+from repro.sched.copies import insert_copies
+from repro.sched.cluster import ClusterAssignment
+from repro.workloads import trace_factory
+
+
+def all_variants():
+    return [
+        (coh, heur)
+        for coh in CoherenceMode
+        for heur in (Heuristic.PREFCLUS, Heuristic.MINCOMS)
+    ]
+
+
+class TestCompileLoop:
+    @pytest.mark.parametrize("coherence,heuristic", all_variants())
+    def test_all_variants_produce_valid_schedules(
+        self, stream_loop, coherence, heuristic
+    ):
+        result = compile_loop(
+            stream_loop,
+            BASELINE_CONFIG,
+            coherence=coherence,
+            heuristic=heuristic,
+            trace_factory=trace_factory(64, seed=3),
+        )
+        result.schedule.validate()
+        assert result.unroll_factor == 4  # stride-4 words on 4x4 machine
+
+    @pytest.mark.parametrize("coherence,heuristic", all_variants())
+    def test_figure3_all_variants(self, figure3, coherence, heuristic):
+        ddg, _ = figure3
+        result = compile_loop(
+            ddg,
+            BASELINE_CONFIG,
+            coherence=coherence,
+            heuristic=heuristic,
+            trace_factory=trace_factory(64, seed=3),
+            unroll_factor=1,
+            add_mem_deps=False,
+        )
+        result.schedule.validate()
+
+    def test_prefclus_without_profiles_raises(self, stream_loop):
+        with pytest.raises(SchedulingError, match="PrefClus needs profiles"):
+            compile_loop(
+                stream_loop, BASELINE_CONFIG, heuristic=Heuristic.PREFCLUS
+            )
+
+    def test_mdc_pins_chain_to_one_cluster(self, figure3):
+        ddg, nodes = figure3
+        result = compile_loop(
+            ddg,
+            BASELINE_CONFIG,
+            coherence=CoherenceMode.MDC,
+            heuristic=Heuristic.PREFCLUS,
+            trace_factory=trace_factory(64, seed=3),
+            unroll_factor=1,
+            add_mem_deps=False,
+        )
+        clusters = {
+            result.assignment[nodes[k].iid] for k in ("n1", "n2", "n3", "n4")
+        }
+        assert len(clusters) == 1
+
+    def test_ddgt_loads_keep_preferred_cluster(self, figure3):
+        ddg, nodes = figure3
+        profiles = {
+            nodes["n1"].iid: ClusterProfile((64, 0, 0, 0)),
+            nodes["n2"].iid: ClusterProfile((0, 0, 64, 0)),
+            nodes["n3"].iid: ClusterProfile((0, 64, 0, 0)),
+            nodes["n4"].iid: ClusterProfile((0, 0, 0, 64)),
+        }
+        result = compile_loop(
+            ddg,
+            BASELINE_CONFIG,
+            coherence=CoherenceMode.DDGT,
+            heuristic=Heuristic.PREFCLUS,
+            profiles=profiles,
+            unroll_factor=1,
+            add_mem_deps=False,
+        )
+        assert result.assignment[nodes["n1"].iid] == 0
+        assert result.assignment[nodes["n2"].iid] == 2
+
+    def test_source_graph_is_pre_transformation(self, figure3):
+        ddg, _ = figure3
+        result = compile_loop(
+            ddg,
+            BASELINE_CONFIG,
+            coherence=CoherenceMode.DDGT,
+            heuristic=Heuristic.MINCOMS,
+            unroll_factor=1,
+            add_mem_deps=False,
+        )
+        assert len(result.source) == len(ddg)
+        assert len(result.ddg) > len(ddg)  # replicas + fakes added
+
+
+class TestCopies:
+    def test_cross_cluster_rf_gets_copy(self):
+        b = DdgBuilder()
+        b.ialu("a", name="prod")
+        b.ialu("c", "a", name="cons")
+        ddg = b.build()
+        prod = next(v for v in ddg if v.name == "prod")
+        cons = next(v for v in ddg if v.name == "cons")
+        assignment = ClusterAssignment({prod.iid: 0, cons.iid: 2})
+        inserted = insert_copies(ddg, BASELINE_CONFIG, assignment)
+        assert len(inserted) == 1
+        copy = ddg.node(inserted[0])
+        assert assignment[copy.iid] == 2
+        # u -> w (d0), w -> v (original distance)
+        assert ddg.has_edge(prod.iid, copy.iid, DepKind.RF)
+        assert ddg.has_edge(copy.iid, cons.iid, DepKind.RF)
+        assert not ddg.has_edge(prod.iid, cons.iid)
+
+    def test_consumers_in_same_cluster_share_copy(self):
+        b = DdgBuilder()
+        b.ialu("a", name="prod")
+        b.ialu("c1", "a", name="c1")
+        b.ialu("c2", "a", name="c2")
+        ddg = b.build()
+        ids = {v.name: v.iid for v in ddg}
+        assignment = ClusterAssignment(
+            {ids["prod"]: 0, ids["c1"]: 1, ids["c2"]: 1}
+        )
+        inserted = insert_copies(ddg, BASELINE_CONFIG, assignment)
+        assert len(inserted) == 1
+
+    def test_same_cluster_needs_no_copy(self, stream_loop):
+        assignment = ClusterAssignment({v.iid: 0 for v in stream_loop})
+        assert insert_copies(stream_loop, BASELINE_CONFIG, assignment) == []
+
+    def test_loop_carried_distance_preserved(self):
+        b = DdgBuilder()
+        b.ialu("acc", b.carried("acc", 2), name="acc")
+        ddg = b.build()
+        acc = next(iter(ddg))
+        # force a self-communication by pretending two clusters... a
+        # carried self edge stays intra-cluster, so no copy:
+        assignment = ClusterAssignment({acc.iid: 1})
+        assert insert_copies(ddg, BASELINE_CONFIG, assignment) == []
+
+
+class TestClusterAssignment:
+    def test_pins_always_respected(self, figure3):
+        ddg, nodes = figure3
+        ddg = ddg.clone()
+        ddg.pin_cluster(nodes["n1"].iid, 3)
+        assignment = assign_clusters(
+            ddg, BASELINE_CONFIG, Heuristic.MINCOMS
+        )
+        assert assignment[nodes["n1"].iid] == 3
+
+    def test_mincoms_places_consumers_near_producers(self):
+        b = DdgBuilder()
+        b.ialu("a", name="prod")
+        for k in range(3):
+            b.ialu(f"c{k}", "a", name=f"cons{k}")
+        ddg = b.build()
+        assignment = assign_clusters(ddg, BASELINE_CONFIG, Heuristic.MINCOMS)
+        clusters = {assignment[v.iid] for v in ddg}
+        assert len(clusters) == 1  # chained ops co-locate
+
+    def test_mincoms_balances_independent_work(self):
+        b = DdgBuilder()
+        for k in range(8):
+            b.ialu(f"r{k}", name=f"op{k}")
+        ddg = b.build()
+        assignment = assign_clusters(ddg, BASELINE_CONFIG, Heuristic.MINCOMS)
+        from collections import Counter
+
+        per_cluster = Counter(assignment[v.iid] for v in ddg)
+        assert max(per_cluster.values()) <= 3  # roughly balanced

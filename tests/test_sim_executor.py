@@ -1,0 +1,132 @@
+"""Executor tests: issue timing, the latency ladder, stall-on-use."""
+
+import pytest
+
+from repro.alias import MemRef
+from repro.arch import BASELINE_CONFIG
+from repro.errors import SimulationError
+from repro.ir import DdgBuilder
+from repro.sched import CoherenceMode, Heuristic, compile_loop
+from repro.sim import simulate
+from repro.workloads import trace_factory
+from repro.workloads.traces import AddressTrace
+
+
+def single_load_loop(stride: int, consumer: bool = True):
+    b = DdgBuilder("one-load")
+    b.load("x", mem=MemRef("A", stride=stride), name="ld")
+    if consumer:
+        b.ialu("y", "x", name="use")
+    return b.build()
+
+
+def compiled(ddg, **kwargs):
+    defaults = dict(
+        coherence=CoherenceMode.NONE,
+        heuristic=Heuristic.MINCOMS,
+        trace_factory=trace_factory(64, seed=1),
+        unroll_factor=1,
+    )
+    defaults.update(kwargs)
+    return compile_loop(ddg, BASELINE_CONFIG, **defaults)
+
+
+class TestBasicExecution:
+    def test_compute_cycles_equal_kernel_slots(self):
+        """Without stalls the machine retires exactly
+        length + (N-1) * II kernel indexes."""
+        ddg = single_load_loop(stride=16)  # single-home, cluster 0
+        result = compiled(ddg)
+        trace = trace_factory(100, seed=2)(result.ddg)
+        sim = simulate(result, trace, iterations=100)
+        expected = result.schedule.length + 99 * result.schedule.ii
+        assert sim.compute_cycles == expected
+
+    def test_iterations_bounded_by_trace(self):
+        ddg = single_load_loop(stride=16)
+        result = compiled(ddg)
+        trace = trace_factory(10, seed=2)(result.ddg)
+        with pytest.raises(SimulationError):
+            simulate(result, trace, iterations=50)
+
+    def test_all_instances_issue(self):
+        ddg = single_load_loop(stride=16)
+        result = compiled(ddg)
+        trace = trace_factory(50, seed=2)(result.ddg)
+        sim = simulate(result, trace, iterations=50)
+        assert sim.stats.issued_ops == 50 * len(result.ddg)
+
+
+class TestLatencyLadder:
+    def _run(self, base_of, pin_cluster=0, iterations=64):
+        """One load (+consumer) pinned to a cluster, trace pinned to an
+        address, so the access class is fully controlled."""
+        b = DdgBuilder("probe")
+        b.load("x", mem=MemRef("A", stride=0, width=4), name="ld")
+        b.ialu("y", "x", name="use")
+        ddg = b.build()
+        for v in list(ddg):
+            ddg.pin_cluster(v.iid, pin_cluster)
+        result = compiled(ddg)
+        trace = AddressTrace(
+            result.ddg, num_iterations=iterations, base_of=base_of
+        )
+        return simulate(result, trace, iterations=iterations), result
+
+    def test_local_hits_do_not_stall(self):
+        # address 0 homes in cluster 0; the load is pinned there.
+        sim, _ = self._run({"A": 0}, pin_cluster=0)
+        assert sim.stall_cycles <= BASELINE_CONFIG.next_level.latency
+        from repro.sim.stats import AccessType
+
+        assert sim.stats.accesses[AccessType.LOCAL_HIT] >= 62
+
+    def test_remote_hits_stall_on_use(self):
+        # address 4 homes in cluster 1; the load is pinned to cluster 0.
+        sim, result = self._run({"A": 4}, pin_cluster=0)
+        from repro.sim.stats import AccessType
+
+        remote = (
+            sim.stats.accesses[AccessType.REMOTE_HIT]
+            + sim.stats.accesses[AccessType.REMOTE_MISS]
+        )
+        assert remote >= 60
+        # Each remote hit makes the consumer wait roughly the ladder gap.
+        assert sim.stall_cycles > sim.compute_cycles
+
+    def test_remote_stall_close_to_ladder(self):
+        sim, result = self._run({"A": 4}, pin_cluster=0, iterations=200)
+        lat = BASELINE_CONFIG.memory_latencies()
+        # Separation scheduled for a local hit; actual is a remote hit.
+        per_iter = sim.stall_cycles / 200
+        assert lat.remote_hit - lat.local_hit - 2 <= per_iter <= lat.remote_hit
+
+    def test_loads_without_consumers_never_stall(self):
+        ddg = single_load_loop(stride=4, consumer=False)
+        result = compiled(ddg, unroll_factor=1)
+        trace = trace_factory(64, seed=2)(result.ddg)
+        sim = simulate(result, trace, iterations=64)
+        assert sim.stall_cycles == 0
+
+
+class TestStoreSemantics:
+    def test_stores_never_stall_the_core(self):
+        b = DdgBuilder("stores")
+        b.store(mem=MemRef("A", stride=4), name="st")
+        ddg = b.build()
+        result = compiled(ddg, unroll_factor=1)
+        trace = trace_factory(64, seed=2)(result.ddg)
+        sim = simulate(result, trace, iterations=64)
+        assert sim.stall_cycles == 0
+
+    def test_replica_nullification_counted(self, figure3):
+        ddg, _ = figure3
+        result = compiled(
+            ddg,
+            coherence=CoherenceMode.DDGT,
+            add_mem_deps=False,
+        )
+        trace = trace_factory(64, seed=2)(result.ddg)
+        sim = simulate(result, trace, iterations=64)
+        # 2 logical stores x 64 iterations: 3 of 4 instances nullified.
+        assert sim.stats.nullified_stores == 2 * 64 * 3

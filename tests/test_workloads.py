@@ -1,0 +1,202 @@
+"""Workload tests: kernels, traces, the calibrated catalog, specialization."""
+
+import pytest
+
+from repro.analysis import chain_stats, cmr_car
+from repro.arch import BASELINE_CONFIG
+from repro.errors import WorkloadError
+from repro.experiments import paperdata
+from repro.workloads import (
+    BENCHMARKS,
+    benchmark_names,
+    chain_kernel,
+    copy_kernel,
+    get_benchmark,
+    inplace_stencil_kernel,
+    reduction_kernel,
+    specialize_ambiguous,
+    streaming_kernel,
+    table_update_kernel,
+    trace_factory,
+)
+from repro.workloads.kernels import table_lookup_kernel
+from repro.workloads.traces import AddressTrace
+
+
+class TestKernels:
+    def test_streaming_is_chain_free(self):
+        ddg = streaming_kernel(n_loads=3, n_stores=2, taps=2)
+        assert chain_stats(ddg).biggest_chain == 0
+
+    def test_streaming_tap_count(self):
+        ddg = streaming_kernel(n_loads=2, taps=3)
+        assert len(ddg.loads()) == 6
+
+    def test_copy_kernel_shape(self):
+        ddg = copy_kernel(width=2)
+        assert len(ddg.loads()) == 1 and len(ddg.stores()) == 1
+
+    def test_reduction_has_recurrence(self):
+        ddg = reduction_kernel()
+        acc = next(v for v in ddg if v.name == "acc")
+        assert any(e.src == acc.iid and e.distance == 1
+                   for e in ddg.preds(acc.iid))
+
+    def test_table_lookup_is_loads_only(self):
+        ddg = table_lookup_kernel()
+        assert not ddg.stores()
+        assert chain_stats(ddg).biggest_chain == 0
+
+    def test_stencil_chain_size(self):
+        ddg = inplace_stencil_kernel(taps=3)
+        assert chain_stats(ddg).biggest_chain == 4  # 3 loads + 1 store
+
+    def test_table_update_chains_load_and_store(self):
+        ddg = table_update_kernel()
+        assert chain_stats(ddg).biggest_chain == 2
+
+    def test_chain_kernel_glues_ladders(self):
+        ddg = chain_kernel(ladders=(4, 3, 2))
+        assert chain_stats(ddg).biggest_chain == 9
+
+    def test_chain_kernel_ladder_sum_checked(self):
+        with pytest.raises(WorkloadError):
+            chain_kernel(ladders=())
+
+    def test_chain_kernel_specializes_to_biggest_ladder(self):
+        ddg = chain_kernel(ladders=(6, 3))
+        aggressive = specialize_ambiguous(ddg)
+        assert chain_stats(aggressive, with_mem_deps=True).biggest_chain == 6
+
+    def test_rotating_ladder_spans_two_homes(self):
+        ddg = chain_kernel(ladders=(1, 4), rotating=(1,), lane_stride=16)
+        rotated = [v for v in ddg.memory_instructions()
+                   if v.mem.stride == 8]
+        assert len(rotated) == 4
+
+
+class TestTraces:
+    def test_deterministic(self, stream_loop):
+        t1 = trace_factory(32, seed=9)(stream_loop)
+        t2 = trace_factory(32, seed=9)(stream_loop)
+        load = stream_loop.loads()[0]
+        assert all(
+            t1.address(load.iid, i) == t2.address(load.iid, i)
+            for i in range(32)
+        )
+
+    def test_affine_addresses_follow_stride(self, stream_loop):
+        trace = trace_factory(8, seed=1)(stream_loop)
+        load = stream_loop.loads()[0]
+        addrs = [trace.address(load.iid, i) for i in range(8)]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {load.mem.stride}
+
+    def test_spaces_do_not_overlap(self, stream_loop):
+        trace = trace_factory(4, seed=1)(stream_loop)
+        bases = {trace.base(s) for s in ("A", "B", "C")}
+        assert len(bases) == 3
+        assert max(bases) - min(bases) >= 1 << 22
+
+    def test_bases_cluster_aligned(self, stream_loop):
+        trace = trace_factory(4, seed=1)(stream_loop)
+        lane = BASELINE_CONFIG.num_clusters * BASELINE_CONFIG.interleave_bytes
+        for space in ("A", "B", "C"):
+            assert trace.base(space) % lane == 0
+
+    def test_indirect_stays_in_window_and_aligned(self):
+        from repro.alias import AccessPattern, MemRef
+        from repro.ir import DdgBuilder
+
+        b = DdgBuilder()
+        b.load("x", mem=MemRef("T", width=4, pattern=AccessPattern.INDIRECT,
+                               spread=256), name="lut")
+        ddg = b.build()
+        trace = trace_factory(200, seed=3)(ddg)
+        load = ddg.loads()[0]
+        base = trace.base("T")
+        for i in range(200):
+            addr = trace.address(load.iid, i)
+            assert base <= addr < base + 256
+            assert addr % 4 == 0
+
+    def test_non_memory_instruction_raises(self, stream_loop):
+        trace = trace_factory(4, seed=1)(stream_loop)
+        alu = next(v for v in stream_loop if not v.is_memory)
+        with pytest.raises(WorkloadError):
+            trace.address(alu.iid, 0)
+
+    def test_explicit_bases(self, stream_loop):
+        trace = AddressTrace(stream_loop, 4, base_of={"A": 0, "B": 64, "C": 128})
+        assert trace.base("A") == 0
+
+
+class TestCatalog:
+    def test_all_table1_rows_present(self):
+        assert len(BENCHMARKS) == 14
+        assert set(benchmark_names(evaluated_only=False)) == set(BENCHMARKS)
+        assert len(benchmark_names()) == 13  # epicenc not in the figures
+
+    @pytest.mark.parametrize("name", [n for n in BENCHMARKS if n != "epicenc"])
+    def test_calibration_matches_table3(self, name):
+        bench = get_benchmark(name)
+        paper_cmr, paper_car = paperdata.TABLE3[name]
+        cmr, car = cmr_car(bench.chain_table())
+        assert cmr == pytest.approx(paper_cmr, abs=0.02)
+        assert car == pytest.approx(paper_car, abs=0.02)
+
+    def test_interleave_factors_follow_table1(self):
+        two_byte = {"g721dec", "g721enc", "gsmdec", "gsmenc",
+                    "pegwitdec", "pegwitenc"}
+        for name in BENCHMARKS:
+            bench = get_benchmark(name)
+            expected = 2 if name in two_byte else 4
+            assert bench.interleave_bytes == expected
+
+    def test_epicdec_has_the_76_op_chain(self):
+        bench = get_benchmark("epicdec")
+        chain_loop = bench.loops[0]
+        assert chain_stats(chain_loop.ddg).biggest_chain == 76
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("doom")
+
+    def test_machine_applies_interleave(self):
+        bench = get_benchmark("gsmdec")
+        assert bench.machine(BASELINE_CONFIG).interleave_bytes == 2
+
+    def test_profile_and_execute_seeds_differ(self):
+        for name in BENCHMARKS:
+            bench = get_benchmark(name)
+            assert bench.profile_seed != bench.execute_seed
+
+
+class TestSpecialization:
+    @pytest.mark.parametrize("name", ["epicdec", "pgpdec", "rasta"])
+    def test_table5_new_ratios(self, name):
+        bench = get_benchmark(name)
+        _, _, paper_new_cmr, paper_new_car = paperdata.TABLE5[name]
+        new_table = []
+        for spec in bench.loops:
+            aggressive = specialize_ambiguous(spec.ddg)
+            new_table.append(
+                (chain_stats(aggressive, with_mem_deps=True), spec.iterations)
+            )
+        new_cmr, new_car = cmr_car(new_table)
+        assert new_cmr == pytest.approx(paper_new_cmr, abs=0.05)
+        assert new_car == pytest.approx(paper_new_car, abs=0.05)
+
+    def test_specialization_clears_ambiguity(self):
+        bench = get_benchmark("epicdec")
+        aggressive = specialize_ambiguous(bench.loops[0].ddg)
+        assert all(
+            not v.mem.ambiguous for v in aggressive.memory_instructions()
+        )
+
+    def test_original_untouched(self):
+        bench = get_benchmark("epicdec")
+        ddg = bench.loops[0].ddg
+        before = len(ddg.edges())
+        specialize_ambiguous(ddg)
+        assert len(ddg.edges()) == before
