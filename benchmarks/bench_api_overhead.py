@@ -1,0 +1,54 @@
+"""API/cache overhead — cold vs warm wall time for a Figure-7 plan.
+
+The perf trajectory's cache-effectiveness signal: executing a Figure-7
+style plan (baseline + four bars over a benchmark subset) cold, then
+re-executing it from a fresh :class:`DiskStore` instance (as a second
+process would), must be dramatically faster and byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.api import DiskStore, FIGURE7_BARS, FREE_MIN, Plan, Runner
+
+SUBSET = ("epicdec", "gsmdec", "pgpdec")
+SCALE = 0.15
+
+
+def figure7_plan() -> Plan:
+    return Plan.grid(
+        benchmarks=list(SUBSET),
+        variants=(FREE_MIN,) + tuple(FIGURE7_BARS),
+        scale=SCALE,
+    )
+
+
+def test_api_overhead_cold_vs_warm(benchmark, tmp_path):
+    cache = tmp_path / "repro_cache"
+    plan = figure7_plan()
+
+    start = time.perf_counter()
+    cold_records = Runner(store=DiskStore(cache)).run(plan)
+    cold = time.perf_counter() - start
+
+    # A fresh DiskStore instance models a second process: nothing is
+    # memoized in RAM, every record comes off disk.
+    warm_records = run_once(
+        benchmark, lambda: Runner(store=DiskStore(cache)).run(plan)
+    )
+    start = time.perf_counter()
+    Runner(store=DiskStore(cache)).run(plan)
+    warm = time.perf_counter() - start
+
+    speedup = cold / max(warm, 1e-9)
+    print(f"\nplan: {len(plan)} specs at scale {SCALE}")
+    print(f"cold {cold:.3f}s | warm (disk) {warm:.4f}s | {speedup:.0f}x")
+
+    assert [r.to_dict() for r in warm_records] == [
+        r.to_dict() for r in cold_records
+    ], "warm results must be byte-identical to the cold run"
+    assert warm < cold, "disk-cache hits must beat recomputation"
+    assert speedup >= 5, f"expected >=5x from the disk cache, got {speedup:.1f}x"

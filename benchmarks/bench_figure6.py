@@ -8,13 +8,13 @@ Shape targets (paper section 4.2):
 * epicdec shows the hardest collapse under MDC.
 """
 
-from conftest import run_once
+from conftest import RUNNER, run_once
 
 from repro.experiments import run_figure6
 
 
 def test_figure6(benchmark):
-    result = run_once(benchmark, run_figure6)
+    result = run_once(benchmark, run_figure6, runner=RUNNER)
     print()
     print(result.render())
     free = result.mean_local_hit("free")

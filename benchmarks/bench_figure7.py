@@ -8,13 +8,13 @@ Shape targets (paper section 4.2):
 * no solution is always better.
 """
 
-from conftest import run_once
+from conftest import RUNNER, run_once
 
 from repro.experiments import run_figure7
 
 
 def test_figure7(benchmark):
-    result = run_once(benchmark, run_figure7)
+    result = run_once(benchmark, run_figure7, runner=RUNNER)
     print()
     print(result.render())
     winners = {

@@ -6,13 +6,13 @@ overflows a single cluster's AB under MDC — still favors DDGT, with a much
 higher chain-loop local hit ratio.
 """
 
-from conftest import run_once
+from conftest import RUNNER, run_once
 
 from repro.experiments import run_figure9
 
 
 def test_figure9(benchmark):
-    result = run_once(benchmark, run_figure9)
+    result = run_once(benchmark, run_figure9, runner=RUNNER)
     print()
     print(result.render())
     bars = result.figure.bars["epicdec"]

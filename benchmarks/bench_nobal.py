@@ -7,13 +7,13 @@ local — relative to MDC, compared against the memory-rich NOBAL+MEM
 configuration.
 """
 
-from conftest import run_once
+from conftest import RUNNER, run_once
 
 from repro.experiments import run_nobal
 
 
 def test_nobal(benchmark):
-    result = run_once(benchmark, run_nobal)
+    result = run_once(benchmark, run_nobal, runner=RUNNER)
     print()
     print(result.render())
     helped = 0

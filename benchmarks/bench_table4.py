@@ -6,13 +6,13 @@ selected loops (those with a >=10% MDC slowdown) where the paper reports
 positive speedups.
 """
 
-from conftest import run_once
+from conftest import RUNNER, run_once
 
 from repro.experiments import run_table4
 
 
 def test_table4(benchmark):
-    result = run_once(benchmark, run_table4)
+    result = run_once(benchmark, run_table4, runner=RUNNER)
     print()
     print(result.render())
     for name in ("epicdec", "pgpdec", "pgpenc", "rasta"):

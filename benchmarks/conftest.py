@@ -6,12 +6,20 @@ benchmark runs its driver exactly once via ``benchmark.pedantic`` and
 prints the paper-vs-measured table to stdout (run with ``-s`` to see it,
 or read EXPERIMENTS.md for a captured full-scale run).
 
-Scale: set ``REPRO_SCALE`` (default 0.5) to trade run time for trace
-length; results are cached in-process, so figure benches sharing variants
-reuse each other's simulations.
+All drivers go through the :mod:`repro.api` session layer: the shared
+:data:`RUNNER` below executes every figure/table plan against the
+process-wide ``ResultStore``, so benches sharing variants (e.g. Figures
+6 and 7) reuse each other's simulations.  Set ``REPRO_SCALE`` (default
+0.5) to trade run time for trace length; ``bench_api_overhead`` measures
+the cold/warm cost of the on-disk store itself.
 """
 
 from __future__ import annotations
+
+from repro.api import Runner
+
+#: One runner for the whole bench session, on the default (shared) store.
+RUNNER = Runner()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -6,39 +6,25 @@ that cluster's 16-entry Attraction Buffer thrashes; under DDGT they
 spread over the machine and every AB holds its share, so the chain turns
 almost fully local.
 
+The four runs are declared as ``repro.api.RunSpec`` objects scoped to
+the chain loop (``loop=...``) and executed through the default store, so
+re-running the example is free.
+
 Run:  python examples/attraction_buffers.py
 """
 
-from repro import BASELINE_CONFIG, CoherenceMode, Heuristic, compile_loop, simulate
-from repro.workloads import get_benchmark, trace_factory
+from repro.api import RunSpec, run
+from repro.workloads import get_benchmark
 
-ITERATIONS = 256
-
-
-def run(spec, bench, machine, coherence):
-    compiled = compile_loop(
-        spec.ddg,
-        machine,
-        coherence=coherence,
-        heuristic=Heuristic.PREFCLUS,
-        trace_factory=trace_factory(256, seed=bench.profile_seed),
-    )
-    result = simulate(
-        compiled,
-        trace_factory(ITERATIONS, seed=bench.execute_seed)(compiled.ddg),
-        iterations=ITERATIONS,
-    )
-    return compiled, result
+SCALE = 0.25
 
 
 def main():
     bench = get_benchmark("epicdec")
-    chain_loop = bench.loops[0]
-    plain = bench.machine(BASELINE_CONFIG)
-    with_ab = plain.with_attraction_buffers(entries=16, associativity=2)
+    chain_loop = bench.loops[0].name
 
     print("epicdec chain loop (the 76-instruction memory dependent chain)")
-    print(f"machine: {with_ab.name} — 16-entry 2-way ABs, flushed per loop\n")
+    print("machine: baseline(+ab) — 16-entry 2-way ABs, flushed per loop\n")
 
     header = (
         f"{'variant':22s} {'II':>4s} {'local hits':>10s} {'AB fills':>9s} "
@@ -46,15 +32,22 @@ def main():
     )
     print(header)
     print("-" * len(header))
-    for machine, tag in ((plain, "no AB"), (with_ab, "AB")):
-        for coherence in (CoherenceMode.MDC, CoherenceMode.DDGT):
-            compiled, result = run(chain_loop, bench, machine, coherence)
-            stats = result.stats
+    for attraction, tag in ((False, "no AB"), (True, "AB")):
+        for coherence in ("mdc", "ddgt"):
+            record = run(RunSpec(
+                benchmark="epicdec",
+                variant=f"{coherence}/prefclus",
+                attraction=attraction,
+                scale=SCALE,
+                loop=chain_loop,
+            ))
+            loop = record.loops[0]
+            stats = loop.stats
             print(
-                f"{coherence.value.upper():5s} {tag:16s} {compiled.ii:4d} "
+                f"{coherence.upper():5s} {tag:16s} {loop.ii:4d} "
                 f"{stats.local_hit_ratio:10.1%} {stats.ab_fills:9d} "
-                f"{stats.ab_overflows:9d} {result.stall_cycles:7d} "
-                f"{result.stats.total_cycles:7d}"
+                f"{stats.ab_overflows:9d} {loop.stall_cycles:7d} "
+                f"{loop.total_cycles:7d}"
             )
 
     print(

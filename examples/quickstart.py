@@ -5,6 +5,11 @@ dependent chains), compiles it for the paper's 4-cluster word-interleaved
 machine under the optimistic baseline, MDC and DDGT, and prints the cycle
 and access statistics side by side.
 
+This is the *low-level* path (hand-built DDG -> compile_loop ->
+simulate).  For catalog benchmarks, prefer the declarative session layer
+— ``repro.api.RunSpec``/``Plan``/``Runner`` (see docs/api.md and
+examples/mediabench_sweep.py), which adds caching and parallelism.
+
 Run:  python examples/quickstart.py
 """
 

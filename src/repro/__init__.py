@@ -14,33 +14,41 @@ The package provides, from scratch:
   machine, including Attraction Buffers and a coherence-violation checker
   (:mod:`repro.sim`);
 * a calibrated Mediabench-like workload catalog (:mod:`repro.workloads`);
-* experiment drivers regenerating every table and figure of the
-  evaluation (:mod:`repro.experiments`).
+* a declarative session layer (:mod:`repro.api`) — ``RunSpec``/``Plan``
+  grids, a serial/parallel ``Runner``, persistent ``ResultStore`` caching
+  and a ``python -m repro`` CLI — on which the experiment drivers
+  (:mod:`repro.experiments`) regenerate every table and figure of the
+  evaluation.
 
-Quickstart::
+Quickstart — declare work, run it, read structured results::
 
-    from repro import (
-        BASELINE_CONFIG, CoherenceMode, Heuristic, MemRef,
-        DdgBuilder, compile_loop, simulate, trace_factory,
-    )
+    from repro import Plan, Runner, RunSpec, run
 
-    b = DdgBuilder("saxpy")
-    x = b.load("x", mem=MemRef("X", stride=4))
-    y = b.load("y", mem=MemRef("Y", stride=4))
-    s = b.fmul("s", "x", "y")
-    b.store("s", mem=MemRef("Y", stride=4))
-    loop = b.build()
+    # One unit of work: benchmark x variant x machine (content-hashed,
+    # cached by the process-wide ResultStore).
+    record = run(RunSpec(benchmark="epicdec", variant="mdc/prefclus",
+                         scale=0.25))
+    print(record.total_cycles, f"{record.local_hit_ratio:.1%}")
 
-    compiled = compile_loop(
-        loop, BASELINE_CONFIG,
-        coherence=CoherenceMode.MDC, heuristic=Heuristic.PREFCLUS,
-        trace_factory=trace_factory(256, seed=1),
-    )
-    result = simulate(
-        compiled, trace_factory(2000, seed=2)(compiled.ddg)
-    )
-    print(result.stats.describe())
+    # A whole grid, fanned out over 4 worker processes with an on-disk
+    # cache: re-running is near-instant.
+    from repro.api import DiskStore, FIGURE7_BARS
+
+    plan = Plan.grid(benchmarks=["epicdec", "gsmdec", "pgpdec"],
+                     variants=FIGURE7_BARS, scale=0.25)
+    for rec in Runner(store=DiskStore(), parallel=4).run(plan):
+        print(rec.benchmark, rec.variant, rec.total_cycles)
+
+The same plans drive the CLI: ``python -m repro figure 7 --parallel 4``,
+``python -m repro run epicdec -v ddgt/prefclus``, ``python -m repro list``.
+(The old ``repro.experiments.run_benchmark`` entry point still works but
+is deprecated in favor of this API.)
+
+For the low-level path — build a DDG by hand, compile and simulate it —
+see ``examples/quickstart.py`` and :func:`compile_loop`/:func:`simulate`.
 """
+
+__version__ = "1.1.0"
 
 from repro.alias import AccessPattern, MemRef
 from repro.arch import (
@@ -71,8 +79,20 @@ from repro.sched import (
 )
 from repro.sim import SimStats, SimulationResult, simulate
 from repro.workloads import benchmark_names, get_benchmark, trace_factory
-
-__version__ = "1.0.0"
+from repro.api import (
+    DiskStore,
+    LoopRecord,
+    MemoryStore,
+    Plan,
+    ResultStore,
+    RunRecord,
+    RunSpec,
+    Runner,
+    Variant,
+    default_store,
+    run,
+    set_default_store,
+)
 
 __all__ = [
     "AccessPattern",
@@ -108,5 +128,17 @@ __all__ = [
     "benchmark_names",
     "get_benchmark",
     "trace_factory",
+    "DiskStore",
+    "LoopRecord",
+    "MemoryStore",
+    "Plan",
+    "ResultStore",
+    "RunRecord",
+    "RunSpec",
+    "Runner",
+    "Variant",
+    "default_store",
+    "run",
+    "set_default_store",
     "__version__",
 ]

@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point (see :mod:`repro.api.cli`)."""
+
+import sys
+
+from repro.api.cli import main
+
+sys.exit(main())

@@ -1,0 +1,239 @@
+"""``python -m repro`` — the command-line front door.
+
+Built on the same :class:`~repro.api.spec.Plan` objects as the library:
+
+* ``repro list`` — benchmarks, variants, machine configs, figures/tables;
+* ``repro run BENCH [...]`` — run a spec grid, print a summary, export
+  JSON/CSV;
+* ``repro figure {6,7,9}`` / ``repro table {4,5}`` — regenerate a
+  figure/table through the experiment drivers;
+* ``repro cache {info,clear}`` — manage the on-disk result store.
+
+All compute-bearing commands accept ``--parallel N`` (process fan-out)
+and use the on-disk :class:`~repro.api.store.DiskStore` under
+``.repro_cache/`` by default, so a second invocation is near-instant and
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table
+from repro.api.records import records_to_csv, records_to_json
+from repro.api.runner import Runner
+from repro.api.spec import (
+    ALL_VARIANTS,
+    EVALUATED,
+    Plan,
+    default_scale,
+)
+from repro.api.store import DEFAULT_CACHE_DIR, DiskStore, MemoryStore
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Gibert, Sánchez & González (CGO 2003): "
+            "memory coherence in a clustered VLIW processor with a "
+            "distributed data cache."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=None,
+                       help="iteration scale (default: REPRO_SCALE or 0.5)")
+        p.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="fan misses out over N worker processes")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help=f"on-disk result store (default: "
+                            f"{DEFAULT_CACHE_DIR}/, or $REPRO_CACHE_DIR)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="use a throwaway in-memory store")
+        p.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the rendered output to FILE")
+
+    p_run = sub.add_parser("run", help="run a grid of specs")
+    p_run.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       help="benchmark names (default: the 13 evaluated)")
+    p_run.add_argument("-v", "--variant", action="append", dest="variants",
+                       metavar="C/H",
+                       help="coherence/heuristic key, e.g. mdc/prefclus "
+                            "(repeatable; default: all six)")
+    p_run.add_argument("--machine", default="baseline",
+                       help="named machine config (default: baseline)")
+    p_run.add_argument("--attraction", action="store_true",
+                       help="enable Attraction Buffers")
+    p_run.add_argument("--loop", default=None,
+                       help="restrict to one loop of each benchmark")
+    p_run.add_argument("--json", default=None, metavar="FILE",
+                       help="write full records as JSON")
+    p_run.add_argument("--csv", default=None, metavar="FILE",
+                       help="write per-loop records as CSV")
+    add_common(p_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a figure's data")
+    p_fig.add_argument("number", type=int, choices=(6, 7, 9))
+    p_fig.add_argument("--benchmarks", nargs="*", default=None,
+                       metavar="BENCH")
+    add_common(p_fig)
+
+    p_tab = sub.add_parser("table", help="regenerate a table")
+    p_tab.add_argument("number", type=int, choices=(4, 5))
+    p_tab.add_argument("--benchmarks", nargs="*", default=None,
+                       metavar="BENCH")
+    add_common(p_tab)
+
+    sub.add_parser("list", help="list benchmarks, variants and configs")
+
+    p_cache = sub.add_parser("cache", help="manage the on-disk store")
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    return parser
+
+
+def _store(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return MemoryStore()
+    return DiskStore(args.cache_dir)
+
+
+def _runner(args: argparse.Namespace) -> Runner:
+    return Runner(store=_store(args), parallel=args.parallel)
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    print(text)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    variants = tuple(args.variants) if args.variants else ALL_VARIANTS
+    plan = Plan.grid(
+        benchmarks=args.benchmarks or None,
+        variants=variants,
+        machines=args.machine,
+        attraction=args.attraction,
+        scale=args.scale,
+        loops=args.loop,
+    )
+    records = _runner(args).run(plan)
+    rows = []
+    for record in records:
+        stats = record.merged_stats()
+        rows.append([
+            record.benchmark, record.variant, record.machine,
+            record.compute_cycles, record.stall_cycles, record.total_cycles,
+            f"{record.local_hit_ratio:.1%}", record.violations,
+            stats.bus_transfers,
+        ])
+    text = format_table(
+        ["benchmark", "variant", "machine", "compute", "stall", "total",
+         "local hit", "violations", "bus xfers"],
+        rows,
+        title=f"{len(records)} runs (scale "
+              f"{args.scale if args.scale is not None else default_scale()})",
+    )
+    _emit(text, args.out)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(records_to_json(records))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(records_to_csv(records))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figure6 import run_figure6
+    from repro.experiments.figure7 import run_figure7
+    from repro.experiments.figure9 import run_figure9
+
+    drivers = {6: run_figure6, 7: run_figure7, 9: run_figure9}
+    result = drivers[args.number](
+        benchmarks=args.benchmarks, scale=args.scale, runner=_runner(args),
+    )
+    _emit(result.render(), args.out)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments.table4 import run_table4
+    from repro.experiments.table5 import run_table5
+
+    if args.number == 4:
+        result = run_table4(
+            benchmarks=args.benchmarks, scale=args.scale,
+            runner=_runner(args),
+        )
+    else:
+        # Table 5 is a static DDG analysis: no simulation, no cache.
+        result = run_table5(benchmarks=args.benchmarks)
+    _emit(result.render(), args.out)
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.arch.config import _NAMED
+    from repro.workloads.catalog import BENCHMARKS
+
+    lines = ["evaluated benchmarks:"]
+    lines.extend(f"  {name}" for name in EVALUATED)
+    extras = [name for name in BENCHMARKS if name not in EVALUATED]
+    if extras:
+        lines.append("catalog-only benchmarks:")
+        lines.extend(f"  {name}" for name in extras)
+    lines.append("variants (coherence/heuristic):")
+    lines.extend(f"  {v.key:16s} {v}" for v in ALL_VARIANTS)
+    lines.append("machine configs:")
+    lines.extend(f"  {name}" for name in sorted(_NAMED))
+    lines.append("figures: 6, 7, 9   tables: 4, 5")
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = DiskStore(args.cache_dir)
+    if args.action == "clear":
+        count = store.clear()
+        print(f"removed {count} cached records from {store.root}/")
+    else:
+        count = len(store)
+        print(f"cache dir : {store.root}/")
+        print(f"records   : {count}")
+        print(f"size      : {store.size_bytes()} bytes")
+        print(f"version   : {store.version}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+    "list": _cmd_list,
+    "cache": _cmd_cache,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

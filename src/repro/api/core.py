@@ -1,0 +1,123 @@
+"""Spec execution: the compile+simulate unit of work, cache-free.
+
+:func:`execute_spec` turns a declarative :class:`~repro.api.spec.RunSpec`
+into a :class:`~repro.api.records.RunRecord`; caching and parallelism
+live one layer up in :class:`~repro.api.runner.Runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.api.records import LoopRecord, RunRecord
+from repro.api.spec import (
+    PROFILE_ITERATIONS,
+    RunSpec,
+    Variant,
+    resolve_machine,
+)
+from repro.arch.config import MachineConfig
+from repro.errors import WorkloadError
+from repro.sched.pipeline import compile_loop
+from repro.sim.executor import simulate
+from repro.workloads.catalog import Benchmark, LoopSpec, get_benchmark
+from repro.workloads.traces import trace_factory
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Compile + simulate the work a spec declares (no caching)."""
+    machine = resolve_machine(spec)
+    return execute_benchmark(
+        spec.benchmark,
+        spec.variant_obj,
+        machine,
+        scale=spec.scale,
+        attraction=spec.attraction,
+        loop=spec.loop,
+        seeds=spec.seeds,
+        spec_key=spec.content_hash,
+    )
+
+
+def execute_benchmark(
+    name: str,
+    variant: Variant,
+    machine: MachineConfig,
+    scale: float,
+    attraction: bool = False,
+    loop: Optional[str] = None,
+    seeds: Optional[Tuple[int, int]] = None,
+    spec_key: str = "",
+) -> RunRecord:
+    """Run every loop (or one named loop) of a benchmark on an already
+    *effective* machine — interleave and Attraction Buffers applied."""
+    bench = get_benchmark(name)
+    loops = bench.loops
+    if loop is not None:
+        loops = tuple(s for s in loops if s.name == loop)
+        if not loops:
+            known = sorted(s.name for s in bench.loops)
+            raise WorkloadError(
+                f"benchmark {name!r} has no loop {loop!r}; expected one of "
+                f"{known}"
+            )
+    record = RunRecord(
+        benchmark=name,
+        variant=variant.key,
+        machine=machine.name,
+        attraction=attraction,
+        scale=scale,
+        spec_key=spec_key,
+    )
+    for loop_spec in loops:
+        record.loops.append(
+            _run_loop(bench, loop_spec, variant, machine, scale, seeds)
+        )
+    return record
+
+
+def _run_loop(
+    bench: Benchmark,
+    spec: LoopSpec,
+    variant: Variant,
+    machine: MachineConfig,
+    scale: float,
+    seeds: Optional[Tuple[int, int]] = None,
+) -> LoopRecord:
+    profile_seed, execute_seed = seeds or (bench.profile_seed,
+                                           bench.execute_seed)
+    profile = trace_factory(PROFILE_ITERATIONS, seed=profile_seed)
+    compiled = compile_loop(
+        spec.ddg,
+        machine,
+        coherence=variant.coherence,
+        heuristic=variant.heuristic,
+        trace_factory=profile,
+        unroll_factor=spec.unroll,
+    )
+    # spec.iterations counts *original* loop iterations; one kernel
+    # iteration of the unrolled loop covers `unroll_factor` of them, so
+    # every variant of a loop simulates the same amount of original work.
+    original_iters = spec.scaled_iterations(scale)
+    kernel_iters = max(32, original_iters // compiled.unroll_factor)
+    execution = trace_factory(kernel_iters, seed=execute_seed)(compiled.ddg)
+    sim = simulate(compiled, execution, iterations=kernel_iters)
+    return LoopRecord(
+        benchmark=bench.name,
+        loop=spec.name,
+        variant=variant.key,
+        ii=compiled.ii,
+        unroll=compiled.unroll_factor,
+        kernel_iterations=kernel_iters,
+        compute_cycles=sim.compute_cycles,
+        stall_cycles=sim.stall_cycles,
+        stats=sim.stats,
+        violations=sim.violations.total if sim.violations else 0,
+        static_copies=compiled.num_copies,
+        replicated_instances=(
+            compiled.ddgt.instance_count if compiled.ddgt else 0
+        ),
+        fake_consumers=(
+            len(compiled.ddgt.fake_consumers) if compiled.ddgt else 0
+        ),
+    )

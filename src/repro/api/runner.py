@@ -1,0 +1,100 @@
+"""Plan execution: serial or ``multiprocessing``, store-backed.
+
+The :class:`Runner` is the only component that touches both the store
+and the executor.  Given a plan it:
+
+1. looks every spec up in its :class:`~repro.api.store.ResultStore` by
+   content hash;
+2. computes the misses — serially, or fanned out over a process pool
+   when ``parallel`` is set (results come back in submission order, so
+   output ordering is deterministic either way);
+3. stores the fresh records and returns all records in plan order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.api.core import execute_spec
+from repro.api.records import RunRecord
+from repro.api.spec import Plan, RunSpec
+from repro.api.store import ResultStore, default_store
+
+PlanLike = Union[Plan, Iterable[RunSpec]]
+
+
+def _worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Top-level (hence picklable) pool worker: dict in, dict out, so the
+    payload crosses process boundaries as pure JSON-able data."""
+    record = execute_spec(RunSpec.from_dict(payload))
+    return record.to_dict()
+
+
+class Runner:
+    """Executes plans against a result store.
+
+    ``parallel=None`` (or 0/1) runs serially in-process; ``parallel=N``
+    fans misses out over ``N`` worker processes; ``parallel=-1`` uses
+    every available CPU.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 parallel: Optional[int] = None) -> None:
+        self._store = store
+        self.parallel = parallel
+
+    @property
+    def store(self) -> ResultStore:
+        return self._store if self._store is not None else default_store()
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec) -> RunRecord:
+        return self.run(Plan.single(spec))[0]
+
+    def run(self, plan: PlanLike) -> List[RunRecord]:
+        if not isinstance(plan, Plan):
+            plan = Plan(tuple(plan))
+        store = self.store
+        keys = [spec.content_hash for spec in plan]
+        records: List[Optional[RunRecord]] = [
+            store.get(key) for key in keys
+        ]
+        misses = [i for i, record in enumerate(records) if record is None]
+        if misses:
+            specs = [plan.specs[i] for i in misses]
+            for i, record in zip(misses, self._execute(specs)):
+                store.put(keys[i], record)
+                records[i] = record
+        return records  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _execute(self, specs: List[RunSpec]) -> List[RunRecord]:
+        workers = self._effective_parallel(len(specs))
+        if workers <= 1:
+            return [execute_spec(spec) for spec in specs]
+        payloads = [spec.to_dict() for spec in specs]
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(_worker, payloads)
+        return [RunRecord.from_dict(data) for data in results]
+
+    def _effective_parallel(self, num_specs: int) -> int:
+        parallel = self.parallel
+        if parallel is None or parallel == 0:
+            return 1
+        if parallel < 0:
+            parallel = multiprocessing.cpu_count()
+        return max(1, min(parallel, num_specs))
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+def default_runner(parallel: Optional[int] = None) -> Runner:
+    """A runner on the process-wide default store."""
+    return Runner(store=None, parallel=parallel)
+
+
+def run(spec: RunSpec, store: Optional[ResultStore] = None) -> RunRecord:
+    """Execute (or fetch) a single spec against ``store`` / the default."""
+    return Runner(store=store).run_one(spec)

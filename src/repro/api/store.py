@@ -1,0 +1,189 @@
+"""Pluggable result stores.
+
+A :class:`ResultStore` maps a spec content hash to a
+:class:`~repro.api.records.RunRecord`.  Two implementations ship:
+
+* :class:`MemoryStore` — a process-local dict (the default; replaces the
+  old hidden ``_RUN_CACHE`` module global);
+* :class:`DiskStore` — one JSON file per record under ``.repro_cache/``
+  (override with ``REPRO_CACHE_DIR``), validated against the package
+  version so a version bump invalidates every stale entry.
+
+The process-wide default store is swappable via :func:`set_default_store`
+— e.g. tests inject a fresh :class:`MemoryStore`, the CLI injects a
+:class:`DiskStore` so repeated figure regenerations across processes are
+near-instant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.api.records import RunRecord
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class ResultStore:
+    """Interface: a keyed store of :class:`RunRecord` results."""
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        raise NotImplementedError
+
+    def put(self, key: str, record: RunRecord) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of entries removed."""
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+
+class MemoryStore(ResultStore):
+    """Process-local in-memory store."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, RunRecord] = {}
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        return self._records.get(key)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        self._records[key] = record
+
+    def clear(self) -> int:
+        count = len(self._records)
+        self._records.clear()
+        return count
+
+    def keys(self) -> Iterator[str]:
+        return iter(tuple(self._records))
+
+
+class DiskStore(ResultStore):
+    """One JSON file per record under ``root`` (default ``.repro_cache/``).
+
+    Entries carry the package version they were produced with; a version
+    mismatch is a cache miss (the stale file is removed on read).  Writes
+    are atomic (tmp file + rename), so parallel workers and concurrent
+    processes never observe torn entries.  Reads are memoized in-process.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 version: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self._version = version
+        self._memo: Dict[str, RunRecord] = {}
+
+    @property
+    def version(self) -> str:
+        return self._version or _package_version()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            stale = payload.get("version") != self.version
+            record = None if stale else RunRecord.from_dict(payload["record"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Valid JSON of the wrong shape: a miss, not a crash loop.
+            record = None
+        if record is None:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+            return None
+        self._memo[key] = record
+        return record
+
+    def put(self, key: str, record: RunRecord) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": self.version,
+            "key": key,
+            "record": record.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._memo[key] = record
+
+    def clear(self) -> int:
+        self._memo.clear()
+        count = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    count += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+        return count
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return iter(())
+        return (path.stem for path in sorted(self.root.glob("*.json")))
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# Process-wide default
+# ----------------------------------------------------------------------
+_DEFAULT_STORE: ResultStore = MemoryStore()
+
+
+def default_store() -> ResultStore:
+    """The process-wide store used when no explicit store is given."""
+    return _DEFAULT_STORE
+
+
+def set_default_store(store: ResultStore) -> ResultStore:
+    """Swap the process-wide default store; returns the previous one."""
+    global _DEFAULT_STORE
+    previous = _DEFAULT_STORE
+    _DEFAULT_STORE = store
+    return previous

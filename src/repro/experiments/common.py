@@ -1,151 +1,87 @@
-"""Shared experiment machinery: variants, per-loop runs, caching.
+"""Legacy experiment surface — thin shims over :mod:`repro.api`.
 
-Every figure/table of the evaluation is some aggregation of the same
-underlying unit of work: *compile loop L of benchmark B under coherence
-solution C with heuristic H on machine M, then simulate it on the
-execution trace*.  :func:`run_benchmark` performs and caches those units
-so that e.g. Figure 6 and Figure 7 (which share variants) never repeat a
-simulation within one process.
+Historically this module owned the variant vocabulary, the per-process
+``_RUN_CACHE`` and the ``run_benchmark`` entry point.  All of that moved
+into the declarative :mod:`repro.api` layer (``RunSpec``/``Plan``/
+``Runner``/``ResultStore``); this module re-exports the vocabulary and
+keeps deprecated, behavior-compatible wrappers so existing callers and
+tests continue to work.
+
+New code should use::
+
+    from repro.api import Plan, Runner, RunSpec, run
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.arch.config import BASELINE_CONFIG, MachineConfig
-from repro.sched.pipeline import CoherenceMode, Heuristic, compile_loop
-from repro.sim.executor import simulate
-from repro.sim.stats import AccessType, SimStats
-from repro.workloads.catalog import Benchmark, LoopSpec, get_benchmark
-from repro.workloads.traces import trace_factory
-
-#: Benchmarks on the figures' x-axes, in the paper's order.
-EVALUATED: Tuple[str, ...] = (
-    "epicdec", "g721dec", "g721enc", "gsmdec", "gsmenc", "jpegdec",
-    "jpegenc", "mpeg2dec", "pegwitdec", "pegwitenc", "pgpdec", "pgpenc",
-    "rasta",
+from repro.api.core import execute_benchmark
+from repro.api.records import LoopRecord, RunRecord
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import (
+    ALL_VARIANTS,
+    DDGT_MIN,
+    DDGT_PREF,
+    EVALUATED,
+    FIGURE7_BARS,
+    FREE_MIN,
+    FREE_PREF,
+    MDC_MIN,
+    MDC_PREF,
+    PROFILE_ITERATIONS,
+    Plan,
+    RunSpec,
+    Variant,
+    default_scale,
+    spec_cache_key,
 )
+from repro.api.store import ResultStore, default_store
+from repro.arch.config import BASELINE_CONFIG, MachineConfig, _NAMED
 
-#: Iterations used for preferred-cluster profiling (the profile data set).
-PROFILE_ITERATIONS = 256
+#: Deprecated aliases — the records subsume the old result dataclasses.
+LoopRun = LoopRecord
+BenchmarkRun = RunRecord
 
-
-def default_scale() -> float:
-    """Global iteration scale; override with ``REPRO_SCALE`` (e.g. 0.25
-    for quick runs, 1.0 for the full published numbers)."""
-    return float(os.environ.get("REPRO_SCALE", "0.5"))
-
-
-@dataclass(frozen=True)
-class Variant:
-    """One (coherence solution, cluster heuristic) combination."""
-
-    coherence: CoherenceMode
-    heuristic: Heuristic
-
-    @property
-    def key(self) -> str:
-        return f"{self.coherence.value}/{self.heuristic.value}"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        names = {CoherenceMode.NONE: "free", CoherenceMode.MDC: "MDC",
-                 CoherenceMode.DDGT: "DDGT"}
-        return f"{names[self.coherence]}({self.heuristic.value})"
-
-
-FREE_PREF = Variant(CoherenceMode.NONE, Heuristic.PREFCLUS)
-FREE_MIN = Variant(CoherenceMode.NONE, Heuristic.MINCOMS)
-MDC_PREF = Variant(CoherenceMode.MDC, Heuristic.PREFCLUS)
-MDC_MIN = Variant(CoherenceMode.MDC, Heuristic.MINCOMS)
-DDGT_PREF = Variant(CoherenceMode.DDGT, Heuristic.PREFCLUS)
-DDGT_MIN = Variant(CoherenceMode.DDGT, Heuristic.MINCOMS)
-
-ALL_VARIANTS: Tuple[Variant, ...] = (
-    FREE_PREF, FREE_MIN, MDC_PREF, MDC_MIN, DDGT_PREF, DDGT_MIN,
-)
-
-#: The four bars of Figures 7 and 9, in the paper's order.
-FIGURE7_BARS: Tuple[Variant, ...] = (MDC_PREF, MDC_MIN, DDGT_PREF, DDGT_MIN)
-
-
-@dataclass
-class LoopRun:
-    """Result of compiling + simulating one loop under one variant."""
-
-    benchmark: str
-    loop: str
-    variant: str
-    ii: int
-    unroll: int
-    kernel_iterations: int
-    compute_cycles: int
-    stall_cycles: int
-    stats: SimStats
-    violations: int
-    static_copies: int
-    replicated_instances: int
-    fake_consumers: int
-
-    @property
-    def total_cycles(self) -> int:
-        return self.compute_cycles + self.stall_cycles
-
-    @property
-    def dynamic_copies(self) -> int:
-        """Communication operations executed (Table 4's metric)."""
-        return self.static_copies * self.kernel_iterations
-
-
-@dataclass
-class BenchmarkRun:
-    """All loops of one benchmark under one variant."""
-
-    benchmark: str
-    variant: str
-    loops: List[LoopRun] = field(default_factory=list)
-
-    @property
-    def compute_cycles(self) -> int:
-        return sum(run.compute_cycles for run in self.loops)
-
-    @property
-    def stall_cycles(self) -> int:
-        return sum(run.stall_cycles for run in self.loops)
-
-    @property
-    def total_cycles(self) -> int:
-        return self.compute_cycles + self.stall_cycles
-
-    @property
-    def dynamic_copies(self) -> int:
-        return sum(run.dynamic_copies for run in self.loops)
-
-    @property
-    def violations(self) -> int:
-        return sum(run.violations for run in self.loops)
-
-    def merged_stats(self) -> SimStats:
-        merged = SimStats()
-        for run in self.loops:
-            merged = merged.merged_with(run.stats)
-        return merged
-
-    def access_fractions(self) -> Dict[AccessType, float]:
-        return self.merged_stats().access_fractions()
-
-    @property
-    def local_hit_ratio(self) -> float:
-        return self.merged_stats().local_hit_ratio
-
-
-# ----------------------------------------------------------------------
-_RUN_CACHE: Dict[Tuple, BenchmarkRun] = {}
+__all__ = [
+    "ALL_VARIANTS",
+    "BenchmarkRun",
+    "DDGT_MIN",
+    "DDGT_PREF",
+    "EVALUATED",
+    "FIGURE7_BARS",
+    "FREE_MIN",
+    "FREE_PREF",
+    "LoopRun",
+    "MDC_MIN",
+    "MDC_PREF",
+    "PROFILE_ITERATIONS",
+    "Variant",
+    "clear_cache",
+    "default_scale",
+    "run_benchmark",
+]
 
 
 def clear_cache() -> None:
-    _RUN_CACHE.clear()
+    """Deprecated: clear the process-wide default ResultStore.
+
+    Use ``repro.api.default_store().clear()`` (or inject your own store
+    into a :class:`~repro.api.runner.Runner`) instead.
+    """
+    warnings.warn(
+        "clear_cache() is deprecated; use repro.api.default_store().clear()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    default_store().clear()
+
+
+def is_registered(config: MachineConfig) -> bool:
+    """Whether ``config`` is (structurally equal to) a named registry
+    configuration, i.e. addressable by name from a :class:`RunSpec`."""
+    return _NAMED.get(config.name) == config
 
 
 def run_benchmark(
@@ -154,68 +90,85 @@ def run_benchmark(
     config: MachineConfig = BASELINE_CONFIG,
     attraction: bool = False,
     scale: Optional[float] = None,
-) -> BenchmarkRun:
-    """Compile + simulate every loop of a benchmark (cached per process)."""
+    store: Optional[ResultStore] = None,
+) -> RunRecord:
+    """Deprecated: compile + simulate every loop of a benchmark (cached).
+
+    Equivalent to ``repro.api.run(RunSpec(...))``.  Kept for backward
+    compatibility; shares the default ResultStore with the new API, so
+    mixed old/new callers never repeat a simulation.
+    """
     if scale is None:
         scale = default_scale()
-    key = (name, variant.key, config.name, attraction, scale)
-    cached = _RUN_CACHE.get(key)
-    if cached is not None:
-        return cached
+    if is_registered(config):
+        spec = RunSpec(
+            benchmark=name,
+            variant=variant.key,
+            machine=config.name,
+            attraction=attraction,
+            scale=scale,
+        )
+        return Runner(store=store).run_one(spec)
+
+    # Ad-hoc (unnamed) machine configuration: key the cache by the
+    # *effective* machine fingerprint — after the benchmark interleave
+    # and with_attraction_buffers() are applied — so two configs sharing
+    # a name never collide.
+    from repro.workloads.catalog import get_benchmark
 
     bench = get_benchmark(name)
     machine = bench.machine(config)
     if attraction:
         machine = machine.with_attraction_buffers()
-
-    result = BenchmarkRun(benchmark=name, variant=variant.key)
-    for spec in bench.loops:
-        result.loops.append(_run_loop(bench, spec, variant, machine, scale))
-    _RUN_CACHE[key] = result
-    return result
-
-
-def _run_loop(
-    bench: Benchmark,
-    spec: LoopSpec,
-    variant: Variant,
-    machine: MachineConfig,
-    scale: float,
-) -> LoopRun:
-    profile = trace_factory(PROFILE_ITERATIONS, seed=bench.profile_seed)
-    compiled = compile_loop(
-        spec.ddg,
-        machine,
-        coherence=variant.coherence,
-        heuristic=variant.heuristic,
-        trace_factory=profile,
-        unroll_factor=spec.unroll,
+    key = "adhoc-" + spec_cache_key(
+        benchmark=name, variant=variant.key, machine=machine,
+        scale=float(scale), loop=None, seeds=None,
     )
-    # spec.iterations counts *original* loop iterations; one kernel
-    # iteration of the unrolled loop covers `unroll_factor` of them, so
-    # every variant of a loop simulates the same amount of original work.
-    original_iters = spec.scaled_iterations(scale)
-    kernel_iters = max(32, original_iters // compiled.unroll_factor)
-    execution = trace_factory(kernel_iters, seed=bench.execute_seed)(
-        compiled.ddg
+    if store is None:
+        store = default_store()
+    cached = store.get(key)
+    if cached is not None:
+        return cached
+    record = execute_benchmark(
+        name, variant, machine, scale=float(scale), attraction=attraction,
+        spec_key=key,
     )
-    sim = simulate(compiled, execution, iterations=kernel_iters)
-    return LoopRun(
-        benchmark=bench.name,
-        loop=spec.name,
-        variant=variant.key,
-        ii=compiled.ii,
-        unroll=compiled.unroll_factor,
-        kernel_iterations=kernel_iters,
-        compute_cycles=sim.compute_cycles,
-        stall_cycles=sim.stall_cycles,
-        stats=sim.stats,
-        violations=sim.violations.total if sim.violations else 0,
-        static_copies=compiled.num_copies,
-        replicated_instances=(
-            compiled.ddgt.instance_count if compiled.ddgt else 0
-        ),
-        fake_consumers=(
-            len(compiled.ddgt.fake_consumers) if compiled.ddgt else 0
-        ),
-    )
+    store.put(key, record)
+    return record
+
+
+def fetch_records(
+    names: Iterable[str],
+    variants: Iterable[Variant],
+    config: MachineConfig,
+    scale: Optional[float],
+    attraction: bool,
+    runner: Runner,
+) -> Dict[Tuple[str, str], RunRecord]:
+    """``(benchmark, variant key) -> RunRecord`` for one driver grid.
+
+    Named registry configs go through the runner as a :class:`Plan`
+    (cached by spec hash, optionally parallel); an ad-hoc
+    :class:`MachineConfig` falls back to :func:`run_benchmark`, which
+    keys the runner's store by the effective-machine fingerprint — so
+    custom configs are honored instead of silently replaced by their
+    namesake.
+    """
+    variants = tuple(variants)
+    if is_registered(config):
+        plan = Plan.grid(
+            benchmarks=list(names),
+            variants=variants,
+            machines=config.name,
+            attraction=attraction,
+            scale=scale,
+        )
+        return {(r.benchmark, r.variant): r for r in runner.run(plan)}
+    return {
+        (name, variant.key): run_benchmark(
+            name, variant, config=config, attraction=attraction,
+            scale=scale, store=runner.store,
+        )
+        for name in names
+        for variant in variants
+    }

@@ -12,15 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import format_table
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import DDGT_PREF, EVALUATED, FREE_PREF, MDC_PREF, Variant
 from repro.arch.config import BASELINE_CONFIG, MachineConfig
-from repro.experiments.common import (
-    DDGT_PREF,
-    EVALUATED,
-    FREE_PREF,
-    MDC_PREF,
-    Variant,
-    run_benchmark,
-)
+from repro.experiments.common import fetch_records
 from repro.sim.stats import AccessType
 
 BARS: Tuple[Variant, ...] = (FREE_PREF, MDC_PREF, DDGT_PREF)
@@ -69,13 +64,16 @@ def run_figure6(
     benchmarks: Optional[List[str]] = None,
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
+    runner: Optional[Runner] = None,
 ) -> Figure6Result:
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
+    runner = runner if runner is not None else default_runner()
+    records = fetch_records(names, BARS, config, scale, False, runner)
     result = Figure6Result()
     for name in names:
         result.fractions[name] = {}
         for variant in BARS:
-            run = run_benchmark(name, variant, config=config, scale=scale)
+            run = records[(name, variant.key)]
             result.fractions[name][BAR_NAMES[variant.key]] = (
                 run.access_fractions()
             )

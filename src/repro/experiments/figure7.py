@@ -12,14 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import format_table
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import EVALUATED, FIGURE7_BARS, FREE_MIN, Variant
 from repro.arch.config import BASELINE_CONFIG, MachineConfig
-from repro.experiments.common import (
-    FIGURE7_BARS,
-    FREE_MIN,
-    EVALUATED,
-    Variant,
-    run_benchmark,
-)
+from repro.experiments.common import fetch_records
 
 
 @dataclass
@@ -86,22 +82,22 @@ def run_figure7(
     scale: Optional[float] = None,
     attraction: bool = False,
     bars: Tuple[Variant, ...] = FIGURE7_BARS,
+    runner: Optional[Runner] = None,
 ) -> Figure7Result:
     """Also reused by Figure 9 (same bars, Attraction Buffers enabled)."""
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
+    runner = runner if runner is not None else default_runner()
+    records = fetch_records(
+        names, (FREE_MIN,) + tuple(bars), config, scale, attraction, runner,
+    )
+
     result = Figure7Result(variant_keys=tuple(v.key for v in bars))
     for name in names:
-        base = run_benchmark(
-            name, FREE_MIN, config=config, scale=scale, attraction=attraction
-        )
-        base_cycles = base.total_cycles
+        base_cycles = records[(name, FREE_MIN.key)].total_cycles
         result.baseline_cycles[name] = base_cycles
         result.bars[name] = {}
         for variant in bars:
-            run = run_benchmark(
-                name, variant, config=config, scale=scale,
-                attraction=attraction,
-            )
+            run = records[(name, variant.key)]
             result.bars[name][variant.key] = Bar(
                 compute=run.compute_cycles / base_cycles,
                 stall=run.stall_cycles / base_cycles,

@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import DDGT_PREF, EVALUATED, MDC_PREF
 from repro.arch.config import BASELINE_CONFIG, MachineConfig
-from repro.experiments.common import DDGT_PREF, EVALUATED, MDC_PREF, run_benchmark
+from repro.experiments.common import fetch_records
 from repro.experiments.figure7 import Figure7Result, run_figure7
 
 
@@ -40,18 +42,21 @@ def run_figure9(
     benchmarks: Optional[List[str]] = None,
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
+    runner: Optional[Runner] = None,
 ) -> Figure9Result:
+    runner = runner if runner is not None else default_runner()
     figure = run_figure7(
-        benchmarks=benchmarks, config=config, scale=scale, attraction=True
+        benchmarks=benchmarks, config=config, scale=scale, attraction=True,
+        runner=runner,
     )
     result = Figure9Result(figure=figure)
     names = benchmarks if benchmarks is not None else EVALUATED
     if "epicdec" in names:
+        records = fetch_records(
+            ["epicdec"], (MDC_PREF, DDGT_PREF), config, scale, True, runner,
+        )
         for variant, bar in ((MDC_PREF, "MDC"), (DDGT_PREF, "DDGT")):
-            run = run_benchmark(
-                "epicdec", variant, config=config, scale=scale,
-                attraction=True,
-            )
+            run = records[("epicdec", variant.key)]
             chain = next(l for l in run.loops if l.loop.endswith(".chain"))
             result.epicdec_loop[bar] = {
                 "local_hit": chain.stats.local_hit_ratio,

@@ -18,14 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import DDGT_PREF, EVALUATED, MDC_MIN, MDC_PREF, Plan
 from repro.arch.config import NOBAL_MEM_CONFIG, NOBAL_REG_CONFIG
-from repro.experiments.common import (
-    DDGT_PREF,
-    EVALUATED,
-    MDC_MIN,
-    MDC_PREF,
-    run_benchmark,
-)
 from repro.experiments import paperdata
 
 
@@ -70,17 +65,27 @@ class NobalResult:
 def run_nobal(
     benchmarks: Optional[List[str]] = None,
     scale: Optional[float] = None,
+    runner: Optional[Runner] = None,
 ) -> NobalResult:
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
+    runner = runner if runner is not None else default_runner()
+    variants = (MDC_PREF, MDC_MIN, DDGT_PREF)
+    plan = Plan.grid(
+        benchmarks=names,
+        variants=variants,
+        machines=(NOBAL_MEM_CONFIG.name, NOBAL_REG_CONFIG.name),
+        scale=scale,
+    )
+    records = {
+        (r.machine, r.benchmark, r.variant): r for r in runner.run(plan)
+    }
     result = NobalResult()
     for config in (NOBAL_MEM_CONFIG, NOBAL_REG_CONFIG):
         result.cycles[config.name] = {}
         for name in names:
             per_variant: Dict[str, int] = {}
-            for variant in (MDC_PREF, MDC_MIN, DDGT_PREF):
-                run = run_benchmark(
-                    name, variant, config=config, scale=scale
-                )
+            for variant in variants:
+                run = records[(config.name, name, variant.key)]
                 per_variant[variant.key] = run.total_cycles
             result.cycles[config.name][name] = per_variant
     return result

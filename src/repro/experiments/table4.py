@@ -15,15 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import DDGT_PREF, EVALUATED, FREE_PREF, MDC_PREF
 from repro.arch.config import BASELINE_CONFIG, MachineConfig
-from repro.experiments.common import (
-    DDGT_PREF,
-    EVALUATED,
-    FREE_PREF,
-    MDC_PREF,
-    run_benchmark,
-)
 from repro.experiments import paperdata
+from repro.experiments.common import fetch_records
 
 #: Loops slower than this factor vs the baseline are "selected".
 SLOWDOWN_THRESHOLD = 1.10
@@ -61,13 +57,18 @@ def run_table4(
     benchmarks: Optional[List[str]] = None,
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
+    runner: Optional[Runner] = None,
 ) -> Table4Result:
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
+    runner = runner if runner is not None else default_runner()
+    records = fetch_records(
+        names, (FREE_PREF, MDC_PREF, DDGT_PREF), config, scale, False, runner,
+    )
     result = Table4Result()
     for name in names:
-        base = run_benchmark(name, FREE_PREF, config=config, scale=scale)
-        mdc = run_benchmark(name, MDC_PREF, config=config, scale=scale)
-        ddgt = run_benchmark(name, DDGT_PREF, config=config, scale=scale)
+        base = records[(name, FREE_PREF.key)]
+        mdc = records[(name, MDC_PREF.key)]
+        ddgt = records[(name, DDGT_PREF.key)]
 
         mdc_copies = mdc.dynamic_copies
         ddgt_copies = ddgt.dynamic_copies

@@ -64,9 +64,9 @@ class _HomeWaiter:
     (they merged into one MSHR entry, but the module still serializes
     them as they arrived).  Each action is one of::
 
-        ("store", addr, version)   apply a write
-        ("load", _PendingLoad)     complete a local load
-        ("respond", requester)     answer a remote read request
+        ("store", addr, version)              apply a write
+        ("load", _PendingLoad)                complete a local load
+        ("respond", requester, _PendingLoad)  answer a remote read request
     """
 
     actions: List[tuple] = field(default_factory=list)
@@ -77,8 +77,8 @@ class _HomeWaiter:
     def defer_load(self, pending: "_PendingLoad") -> None:
         self.actions.append(("load", pending))
 
-    def defer_response(self, requester: int) -> None:
-        self.actions.append(("respond", requester))
+    def defer_response(self, requester: int, pending: "_PendingLoad") -> None:
+        self.actions.append(("respond", requester, pending))
 
 
 class MemorySystem:
@@ -106,10 +106,6 @@ class MemorySystem:
         self.next_level = NextLevel(machine.next_level)
         #: ground truth: (block, home) -> {addr: version}
         self._versions: Dict[SubblockKey, Dict[int, Version]] = {}
-        #: requester-side MSHRs: per cluster, (block, home) -> pending loads
-        self._remote_mshr: List[Dict[SubblockKey, List[_PendingLoad]]] = [
-            {} for _ in machine.clusters
-        ]
         #: home-side MSHRs: per cluster, block -> deferred work
         self._home_mshr: List[Dict[int, _HomeWaiter]] = [
             {} for _ in machine.clusters
@@ -321,7 +317,8 @@ class MemorySystem:
                 pending.on_complete(cycle)
             else:  # respond
                 self._send_response(
-                    cluster, action[1], key, send_at=cycle, now=cycle
+                    cluster, action[1], key, action[2],
+                    send_at=cycle, now=cycle,
                 )
             self._outstanding -= 1
 
@@ -336,25 +333,32 @@ class MemorySystem:
         pending: _PendingLoad,
         cycle: int,
     ) -> None:
-        mshr = self._remote_mshr[cluster]
-        waiters = mshr.get(key)
-        if waiters is not None:
-            self.stats.record_access(AccessType.COMBINED)
-            waiters.append(pending)
-            self._outstanding += 1
-            return
-        mshr[key] = [pending]
+        """Every remote load travels to its home as its own request.
+
+        There is deliberately no requester-side combining onto an
+        in-flight request for the same subblock: a merged load would be
+        served at the *older* request's serialization point at the home,
+        where it can miss a store that program order placed before it
+        (stale read) or observe one placed after it (broken MA).  The
+        per-source FIFO buses deliver same-cluster messages in issue
+        order, so serving each load where its own request arrives at the
+        home — the point of coherence — preserves exactly the ordering
+        the MDC/DDGT solutions rely on.  (Requests that find a next-level
+        fill in progress still merge into the home MSHR below, which
+        replays its actions in arrival order.)
+        """
         self._outstanding += 1
 
         def at_home(arrival: int) -> None:
-            self._home_load_request(cluster, home, key, arrival)
+            self._home_load_request(cluster, home, key, pending, arrival)
 
         self.fabric.send(
             BusMessage(src=cluster, dst=home, on_deliver=at_home, enqueued_at=cycle)
         )
 
     def _home_load_request(
-        self, requester: int, home: int, key: SubblockKey, arrival: int
+        self, requester: int, home: int, key: SubblockKey,
+        pending: _PendingLoad, arrival: int,
     ) -> None:
         block = key[0]
         module = self.modules[home]
@@ -364,6 +368,7 @@ class MemorySystem:
                 home,
                 requester,
                 key,
+                pending,
                 send_at=arrival + self.machine.cache.hit_latency,
                 now=arrival,
             )
@@ -371,30 +376,37 @@ class MemorySystem:
         waiter = self._home_mshr[home].get(block)
         if waiter is not None:
             self.stats.record_access(AccessType.COMBINED)
-            waiter.defer_response(requester)
+            waiter.defer_response(requester, pending)
             self._outstanding += 1
             return
         self.stats.record_access(AccessType.REMOTE_MISS)
         waiter = _HomeWaiter()
-        waiter.defer_response(requester)
+        waiter.defer_response(requester, pending)
         self._home_mshr[home][block] = waiter
         self._outstanding += 1
         self._fetch(home, block)
 
     def _send_response(
-        self, home: int, requester: int, key: SubblockKey, send_at: int, now: int
+        self, home: int, requester: int, key: SubblockKey,
+        pending: _PendingLoad, send_at: int, now: int,
     ) -> None:
-        """Queue the response carrying the subblock's version snapshot.
+        """Serve one read request and queue its response.
 
+        The load observes the subblock *here*, at its serialization point
+        at the home module; the response only models the transfer back.
         ``send_at`` is the cycle the response data is ready at the home
         module (probe latency after the request's arrival, or the fill
         cycle itself); messages ready now enter the bus queue directly so
         they contend for a bus this very cycle.
         """
         snapshot = dict(self._bucket(key))
+        self._observe(pending, snapshot.get(pending.addr))
 
         def at_requester(arrival: int) -> None:
-            self._complete_remote_loads(requester, key, snapshot, arrival)
+            pending.on_complete(arrival)
+            self._outstanding -= 1
+            if self.abs is not None:
+                self._ab_fill(requester, key, snapshot)
 
         message = BusMessage(
             src=home, dst=requester, on_deliver=at_requester, enqueued_at=send_at
@@ -403,21 +415,6 @@ class MemorySystem:
             self.fabric.send(message)
         else:
             self._deferred_sends.setdefault(send_at, []).append(message)
-
-    def _complete_remote_loads(
-        self,
-        requester: int,
-        key: SubblockKey,
-        snapshot: Dict[int, Version],
-        arrival: int,
-    ) -> None:
-        waiters = self._remote_mshr[requester].pop(key, [])
-        for pending in waiters:
-            self._observe(pending, snapshot.get(pending.addr))
-            pending.on_complete(arrival)
-            self._outstanding -= 1
-        if self.abs is not None:
-            self._ab_fill(requester, key, snapshot)
 
     def _remote_store(
         self,

@@ -25,6 +25,23 @@ class AccessType(enum.Enum):
     COMBINED = "combined"
 
 
+#: Scalar counters of :class:`SimStats` (everything but ``accesses``).
+_COUNTER_FIELDS = (
+    "compute_cycles",
+    "stall_cycles",
+    "issued_ops",
+    "nullified_stores",
+    "coherence_violations",
+    "ab_hits",
+    "ab_fills",
+    "ab_overflows",
+    "ab_flushed_dirty",
+    "bus_transfers",
+    "bus_queued_cycles",
+    "next_level_requests",
+)
+
+
 @dataclass
 class SimStats:
     """Counters collected by one simulation run."""
@@ -78,22 +95,27 @@ class SimStats:
         merged = SimStats()
         for kind in AccessType:
             merged.accesses[kind] = self.accesses[kind] + other.accesses[kind]
-        for name in (
-            "compute_cycles",
-            "stall_cycles",
-            "issued_ops",
-            "nullified_stores",
-            "coherence_violations",
-            "ab_hits",
-            "ab_fills",
-            "ab_overflows",
-            "ab_flushed_dirty",
-            "bus_transfers",
-            "bus_queued_cycles",
-            "next_level_requests",
-        ):
+        for name in _COUNTER_FIELDS:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the ``repro.api`` ResultStore)."""
+        data: Dict[str, object] = {
+            "accesses": {t.value: n for t, n in self.accesses.items()},
+        }
+        for name in _COUNTER_FIELDS:
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        stats = cls()
+        for raw, count in data.get("accesses", {}).items():
+            stats.accesses[AccessType(raw)] = int(count)
+        for name in _COUNTER_FIELDS:
+            setattr(stats, name, int(data.get(name, 0)))
+        return stats
 
     def describe(self) -> str:
         frac = self.access_fractions()

@@ -1,0 +1,115 @@
+"""CLI smoke tests — in-process via ``main(argv)`` plus one true
+``python -m repro`` subprocess round trip."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestListCommand:
+    def test_lists_benchmarks_variants_configs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "epicdec" in out
+        assert "mdc/prefclus" in out
+        assert "nobal+reg" in out
+        assert "figures: 6, 7, 9" in out
+
+
+class TestRunCommand:
+    def test_run_writes_table_json_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "records.json"
+        csv_path = tmp_path / "records.csv"
+        rc = main([
+            "run", "gsmdec", "-v", "mdc/prefclus", "--scale", "0.1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gsmdec" in out and "mdc/prefclus" in out
+
+        records = json.loads(json_path.read_text())
+        assert len(records) == 1
+        assert records[0]["benchmark"] == "gsmdec"
+        assert records[0]["loops"]
+
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("benchmark,loop,variant")
+        assert len(lines) == 1 + len(records[0]["loops"])
+
+    def test_unknown_benchmark_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["run", "doesnotexist", "--scale", "0.1",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_variant_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["run", "gsmdec", "-v", "bogus", "--scale", "0.1",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["run", "gsmdec", "-v", "mdc/prefclus", "--scale", "0.1",
+              "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache)]) == 0
+        info = capsys.readouterr().out
+        assert "records   : 1" in info
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_second_run_hits_disk_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["run", "gsmdec", "-v", "mdc/prefclus", "--scale", "0.1",
+                "--cache-dir", str(cache)]
+        main(args)
+        first = capsys.readouterr().out
+        mtimes = {p: p.stat().st_mtime_ns for p in cache.glob("*.json")}
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second, "cached rerun must be byte-identical"
+        assert mtimes == {
+            p: p.stat().st_mtime_ns for p in cache.glob("*.json")
+        }, "cached rerun must not rewrite entries"
+
+
+class TestFigureCommand:
+    def test_figure7_small_subset(self, tmp_path, capsys):
+        out_file = tmp_path / "figure7.txt"
+        rc = main([
+            "figure", "7", "--benchmarks", "gsmdec", "--scale", "0.1",
+            "--cache-dir", str(tmp_path / "cache"), "--out", str(out_file),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "Figure 7" in text
+        assert out_file.read_text().strip() in text
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_repro_list(self):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert "mdc/prefclus" in out.stdout
+
+    def test_console_entry_point_metadata(self):
+        """pyproject must wire the `repro` script to repro.api.cli:main."""
+        text = (Path(__file__).resolve().parent.parent /
+                "pyproject.toml").read_text()
+        assert 'repro = "repro.api.cli:main"' in text

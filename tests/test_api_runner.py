@@ -1,0 +1,163 @@
+"""Runner: caching semantics, parallel/serial equivalence, shims."""
+
+import pytest
+
+from repro.api.records import RunRecord
+from repro.api.runner import Runner, run
+from repro.api.spec import MDC_PREF, Plan, RunSpec
+from repro.api.store import MemoryStore, set_default_store
+from repro.arch.config import BASELINE_CONFIG
+from repro.errors import WorkloadError
+
+SCALE = 0.1
+PLAN = Plan.grid(
+    benchmarks=["gsmdec", "gsmenc"],
+    variants=("mdc/prefclus", "ddgt/prefclus"),
+    scale=SCALE,
+)
+
+
+class CountingStore(MemoryStore):
+    def __init__(self):
+        super().__init__()
+        self.puts = 0
+
+    def put(self, key, record):
+        self.puts += 1
+        super().put(key, record)
+
+
+@pytest.fixture
+def store():
+    return CountingStore()
+
+
+class TestRunnerCaching:
+    def test_second_run_is_all_hits(self, store):
+        runner = Runner(store=store)
+        first = runner.run(PLAN)
+        assert store.puts == len(PLAN)
+        second = runner.run(PLAN)
+        assert store.puts == len(PLAN), "second run must not recompute"
+        assert [a.to_dict() for a in first] == [b.to_dict() for b in second]
+
+    def test_results_in_plan_order(self, store):
+        records = Runner(store=store).run(PLAN)
+        assert [(r.benchmark, r.variant) for r in records] == [
+            (s.benchmark, s.variant) for s in PLAN
+        ]
+
+    def test_partial_hits_fill_only_misses(self, store):
+        runner = Runner(store=store)
+        runner.run(Plan(PLAN.specs[:2]))
+        assert store.puts == 2
+        runner.run(PLAN)
+        assert store.puts == len(PLAN)
+
+    def test_run_one_and_module_run(self, store):
+        spec = PLAN.specs[0]
+        record = Runner(store=store).run_one(spec)
+        assert isinstance(record, RunRecord)
+        assert record.spec_key == spec.content_hash
+        previous = set_default_store(store)
+        try:
+            again = run(spec)
+        finally:
+            set_default_store(previous)
+        assert again.to_dict() == record.to_dict()
+
+
+class TestParallelEqualsSerial:
+    def test_identical_records(self):
+        serial = Runner(store=MemoryStore(), parallel=None).run(PLAN)
+        parallel = Runner(store=MemoryStore(), parallel=2).run(PLAN)
+        assert [a.to_dict() for a in serial] == [
+            b.to_dict() for b in parallel
+        ]
+
+    def test_parallel_minus_one_uses_cpu_count(self):
+        import multiprocessing
+
+        runner = Runner(store=MemoryStore(), parallel=-1)
+        cpus = multiprocessing.cpu_count()
+        assert runner._effective_parallel(2) == min(2, cpus)
+        assert runner._effective_parallel(1) == 1
+        # Never more workers than specs, even on big machines.
+        assert Runner(parallel=64)._effective_parallel(3) == 3
+
+
+class TestLoopScopedSpecs:
+    def test_single_loop_subset(self):
+        full = run(RunSpec(benchmark="gsmdec", variant=MDC_PREF.key,
+                           scale=SCALE), store=MemoryStore())
+        assert len(full.loops) > 1
+        one = run(RunSpec(benchmark="gsmdec", variant=MDC_PREF.key,
+                          scale=SCALE, loop=full.loops[0].loop),
+                  store=MemoryStore())
+        assert len(one.loops) == 1
+        assert one.loops[0].to_dict() == full.loops[0].to_dict()
+
+    def test_unknown_loop_raises(self):
+        with pytest.raises(WorkloadError):
+            run(RunSpec(benchmark="gsmdec", scale=SCALE, loop="nope"),
+                store=MemoryStore())
+
+
+class TestLegacyRunBenchmark:
+    def test_shares_store_with_new_api(self, store):
+        from repro.experiments.common import run_benchmark
+
+        previous = set_default_store(store)
+        try:
+            spec = RunSpec(benchmark="gsmdec", variant=MDC_PREF.key,
+                           scale=SCALE)
+            record = run(spec)
+            assert store.puts == 1
+            legacy = run_benchmark("gsmdec", MDC_PREF, scale=SCALE)
+            assert store.puts == 1, "legacy path must reuse the new cache"
+            assert legacy.to_dict() == record.to_dict()
+        finally:
+            set_default_store(previous)
+
+    def test_drivers_honor_adhoc_configs(self, store):
+        """A custom MachineConfig passed to a figure driver must actually
+        be simulated, not silently swapped for its registry namesake."""
+        from dataclasses import replace
+
+        from repro.experiments.figure7 import run_figure7
+
+        slow_next_level = replace(
+            BASELINE_CONFIG,
+            next_level=replace(BASELINE_CONFIG.next_level, latency=40),
+        )
+        assert slow_next_level.name == "baseline"
+        previous = set_default_store(store)
+        try:
+            stock = run_figure7(["gsmdec"], scale=SCALE)
+            custom = run_figure7(["gsmdec"], config=slow_next_level,
+                                 scale=SCALE)
+        finally:
+            set_default_store(previous)
+        assert (custom.baseline_cycles["gsmdec"]
+                != stock.baseline_cycles["gsmdec"]), (
+            "a 4x next-level latency must change absolute cycle counts"
+        )
+
+    def test_adhoc_config_keyed_by_effective_machine(self, store):
+        """Same config name, different structure -> different cache keys."""
+        from dataclasses import replace
+
+        from repro.experiments.common import run_benchmark
+
+        custom = replace(BASELINE_CONFIG)  # same name, not the registry obj
+        weird = replace(BASELINE_CONFIG,
+                        cache=replace(BASELINE_CONFIG.cache, hit_latency=2))
+        assert custom.name == weird.name == "baseline"
+        previous = set_default_store(store)
+        try:
+            a = run_benchmark("gsmdec", MDC_PREF, config=custom, scale=SCALE)
+            b = run_benchmark("gsmdec", MDC_PREF, config=weird, scale=SCALE)
+        finally:
+            set_default_store(previous)
+        assert store.puts == 2, "structurally different configs must not collide"
+        assert a.spec_key != b.spec_key

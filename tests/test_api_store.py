@@ -1,0 +1,133 @@
+"""ResultStore implementations: hit/miss, version invalidation, defaults."""
+
+import json
+
+import pytest
+
+from repro.api.records import LoopRecord, RunRecord
+from repro.api.store import (
+    DiskStore,
+    MemoryStore,
+    default_store,
+    set_default_store,
+)
+from repro.sim.stats import SimStats
+
+
+def make_record(benchmark="gsmdec", cycles=100) -> RunRecord:
+    stats = SimStats()
+    stats.compute_cycles = cycles
+    loop = LoopRecord(
+        benchmark=benchmark, loop=f"{benchmark}.l0", variant="mdc/prefclus",
+        ii=3, unroll=2, kernel_iterations=64, compute_cycles=cycles,
+        stall_cycles=7, stats=stats, violations=0, static_copies=2,
+        replicated_instances=0, fake_consumers=0,
+    )
+    return RunRecord(benchmark=benchmark, variant="mdc/prefclus",
+                     scale=0.1, spec_key="k", loops=[loop])
+
+
+class TestMemoryStore:
+    def test_miss_then_hit(self):
+        store = MemoryStore()
+        assert store.get("k") is None
+        record = make_record()
+        store.put("k", record)
+        assert store.get("k") is record
+        assert "k" in store
+        assert len(store) == 1
+
+    def test_clear_returns_count(self):
+        store = MemoryStore()
+        store.put("a", make_record())
+        store.put("b", make_record())
+        assert store.clear() == 2
+        assert store.get("a") is None
+
+
+class TestDiskStore:
+    def test_roundtrip_across_instances(self, tmp_path):
+        record = make_record(cycles=123)
+        DiskStore(tmp_path).put("key1", record)
+        # A brand-new store instance (as in a second process) must hit.
+        fetched = DiskStore(tmp_path).get("key1")
+        assert fetched is not None
+        assert fetched.to_dict() == record.to_dict()
+        assert fetched.loops[0].compute_cycles == 123
+
+    def test_version_bump_invalidates(self, tmp_path):
+        DiskStore(tmp_path, version="1.0.0").put("key1", make_record())
+        old = DiskStore(tmp_path, version="1.0.0")
+        assert old.get("key1") is not None
+        bumped = DiskStore(tmp_path, version="2.0.0")
+        assert bumped.get("key1") is None
+        # The stale file was dropped, so even the old version misses now.
+        assert DiskStore(tmp_path, version="1.0.0").get("key1") is None
+
+    def test_default_version_is_package_version(self, tmp_path):
+        import repro
+
+        store = DiskStore(tmp_path)
+        assert store.version == repro.__version__
+        store.put("key1", make_record())
+        payload = json.loads((tmp_path / "key1.json").read_text())
+        assert payload["version"] == repro.__version__
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        assert DiskStore(tmp_path).get("bad") is None
+
+    def test_wrong_shape_entry_is_a_miss_and_removed(self, tmp_path):
+        """Valid JSON of the wrong shape must self-heal, not crash."""
+        import repro
+
+        (tmp_path / "a.json").write_text("[1, 2, 3]")
+        (tmp_path / "b.json").write_text(
+            json.dumps({"version": repro.__version__})  # no 'record'
+        )
+        (tmp_path / "c.json").write_text(
+            json.dumps({"version": repro.__version__, "record": {"loops": 3}})
+        )
+        store = DiskStore(tmp_path)
+        for key in ("a", "b", "c"):
+            assert store.get(key) is None
+            assert not (tmp_path / f"{key}.json").exists(), key
+
+    def test_clear_and_info(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put("a", make_record())
+        store.put("b", make_record())
+        assert sorted(store.keys()) == ["a", "b"]
+        assert store.size_bytes() > 0
+        assert store.clear() == 2
+        assert list(store.keys()) == []
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        store = DiskStore()
+        assert store.root == tmp_path / "envcache"
+
+
+class TestDefaultStore:
+    def test_swap_and_restore(self):
+        fresh = MemoryStore()
+        previous = set_default_store(fresh)
+        try:
+            assert default_store() is fresh
+        finally:
+            set_default_store(previous)
+        assert default_store() is previous
+
+
+class TestLegacyClearCache:
+    def test_clear_cache_clears_default_store(self):
+        from repro.experiments.common import clear_cache
+
+        previous = set_default_store(MemoryStore())
+        try:
+            default_store().put("k", make_record())
+            with pytest.warns(DeprecationWarning):
+                clear_cache()
+            assert default_store().get("k") is None
+        finally:
+            set_default_store(previous)
