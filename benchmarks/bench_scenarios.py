@@ -1,0 +1,69 @@
+"""Scenario-engine throughput: generation rate and sweep rate.
+
+Two signals for the perf trajectory:
+
+* **scenarios/sec generated** — the seeded generator must stay cheap
+  enough that sampling hundreds of fuzz cases is free relative to
+  compiling them;
+* **end-to-end sweep throughput, serial vs multiprocessing** — the
+  differential harness fans out over worker processes through the
+  ordinary Runner path; the parallel run must agree with the serial one
+  bit for bit (generation is a pure function of the scenario name).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.api import MemoryStore, Runner
+from repro.scenarios import build_scenario_ddg, run_sweep, sample_scenarios
+
+GEN_COUNT = 300
+SWEEP_COUNT = 6
+SCALE = 0.1
+
+
+def test_generation_throughput(benchmark):
+    params = sample_scenarios(seed=42, count=GEN_COUNT)
+
+    def generate():
+        return [build_scenario_ddg(p) for p in params]
+
+    start = time.perf_counter()
+    ddgs = run_once(benchmark, generate)
+    elapsed = time.perf_counter() - start
+
+    rate = GEN_COUNT / elapsed
+    ops = sum(len(d) for d in ddgs)
+    print(f"\ngenerated {GEN_COUNT} scenarios ({ops} instructions) "
+          f"in {elapsed:.2f}s = {rate:.0f} scenarios/s")
+    assert len(ddgs) == GEN_COUNT
+    assert rate > 20, f"generator too slow: {rate:.1f} scenarios/s"
+
+
+def test_sweep_throughput_serial_vs_parallel(benchmark):
+    names = [p.name for p in sample_scenarios(seed=7, count=SWEEP_COUNT)]
+
+    def sweep(parallel):
+        return run_sweep(
+            names, scale=SCALE,
+            runner=Runner(store=MemoryStore(), parallel=parallel),
+        )
+
+    start = time.perf_counter()
+    serial = run_once(benchmark, sweep, None)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = sweep(2)
+    t_parallel = time.perf_counter() - start
+
+    runs = len(serial.plan)
+    print(f"\nsweep of {runs} runs: serial {t_serial:.1f}s "
+          f"({runs / t_serial:.1f} runs/s) | 2 workers {t_parallel:.1f}s "
+          f"({runs / t_parallel:.1f} runs/s)")
+    assert serial.ok and parallel.ok
+    # Multiprocessing must not change a single digit of the summary.
+    assert serial.to_csv() == parallel.to_csv()

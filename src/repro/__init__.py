@@ -18,7 +18,11 @@ The package provides, from scratch:
   grids, a serial/parallel ``Runner``, persistent ``ResultStore`` caching
   and a ``python -m repro`` CLI — on which the experiment drivers
   (:mod:`repro.experiments`) regenerate every table and figure of the
-  evaluation.
+  evaluation;
+* a seeded synthetic scenario engine (:mod:`repro.scenarios`) — kernel
+  and machine-space generators plus a differential free/MDC/DDGT sweep
+  harness (``repro scenarios {generate,sweep,report}``) that turns the
+  reproduction into a general stress/fuzz rig.
 
 Quickstart — declare work, run it, read structured results::
 
@@ -48,7 +52,7 @@ For the low-level path — build a DDG by hand, compile and simulate it —
 see ``examples/quickstart.py`` and :func:`compile_loop`/:func:`simulate`.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.alias import AccessPattern, MemRef
 from repro.arch import (
@@ -92,6 +96,13 @@ from repro.api import (
     default_store,
     run,
     set_default_store,
+)
+from repro.scenarios import (
+    ScenarioParams,
+    build_scenario_ddg,
+    run_sweep,
+    sample_scenarios,
+    scenario_benchmark,
 )
 
 __all__ = [
@@ -140,5 +151,10 @@ __all__ = [
     "default_store",
     "run",
     "set_default_store",
+    "ScenarioParams",
+    "build_scenario_ddg",
+    "run_sweep",
+    "sample_scenarios",
+    "scenario_benchmark",
     "__version__",
 ]

@@ -7,6 +7,9 @@ Built on the same :class:`~repro.api.spec.Plan` objects as the library:
   JSON/CSV;
 * ``repro figure {6,7,9}`` / ``repro table {4,5}`` — regenerate a
   figure/table through the experiment drivers;
+* ``repro scenarios {generate,sweep,report}`` — seeded synthetic
+  workloads and the free/MDC/DDGT differential sweep harness
+  (:mod:`repro.scenarios`);
 * ``repro cache {info,clear}`` — manage the on-disk result store.
 
 All compute-bearing commands accept ``--parallel N`` (process fan-out)
@@ -88,6 +91,50 @@ def _build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--benchmarks", nargs="*", default=None,
                        metavar="BENCH")
     add_common(p_tab)
+
+    p_scn = sub.add_parser(
+        "scenarios",
+        help="synthetic scenario generator + differential sweep harness",
+    )
+    scn_sub = p_scn.add_subparsers(dest="action", required=True)
+
+    def add_sampling(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0,
+                       help="sampler seed (default: 0)")
+        p.add_argument("--count", type=int, default=50, metavar="N",
+                       help="number of scenarios to sample (default: 50)")
+        p.add_argument("--family", action="append", dest="families",
+                       metavar="FAMILY",
+                       help="restrict to a generator family (repeatable)")
+
+    p_scn_gen = scn_sub.add_parser(
+        "generate", help="sample scenarios and describe their DDGs")
+    add_sampling(p_scn_gen)
+    p_scn_gen.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the listing to FILE")
+
+    def add_sweep_args(p: argparse.ArgumentParser) -> None:
+        # report must reconstruct the exact plan sweep ran, so the two
+        # verbs share one argument definition.
+        add_sampling(p)
+        p.add_argument("--machine", action="append", dest="machines",
+                       metavar="NAME",
+                       help="machine config name, named or gen-... "
+                            "(repeatable; default: baseline)")
+        p.add_argument("--machine-space", action="store_true",
+                       help="sweep the default 2/4/8-cluster machine "
+                            "space instead of the baseline alone")
+        p.add_argument("--csv", default=None, metavar="FILE",
+                       help="write the per-family summary as CSV")
+        add_common(p)
+
+    p_scn_sweep = scn_sub.add_parser(
+        "sweep", help="run the free/MDC/DDGT differential sweep")
+    add_sweep_args(p_scn_sweep)
+
+    p_scn_rep = scn_sub.add_parser(
+        "report", help="re-aggregate a sweep from the warm store only")
+    add_sweep_args(p_scn_rep)
 
     sub.add_parser("list", help="list benchmarks, variants and configs")
 
@@ -184,6 +231,81 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_machines(args: argparse.Namespace):
+    machines = []
+    if getattr(args, "machine_space", False):
+        from repro.scenarios.machines import DEFAULT_MACHINE_SPACE
+
+        machines.extend(DEFAULT_MACHINE_SPACE)
+    if getattr(args, "machines", None):
+        machines.extend(args.machines)
+    return machines or None
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        build_scenario_ddg,
+        sample_scenarios,
+        summarize,
+        sweep_plan,
+        run_sweep,
+    )
+
+    scenarios = sample_scenarios(args.seed, args.count, args.families)
+
+    if args.action == "generate":
+        rows = []
+        for params in scenarios:
+            ddg = build_scenario_ddg(params)
+            rows.append([
+                params.name, params.family, len(ddg),
+                len(ddg.memory_instructions()), ddg.fingerprint(),
+            ])
+        text = format_table(
+            ["scenario", "family", "ops", "mem ops", "fingerprint"],
+            rows,
+            title=f"{len(rows)} scenarios (seed {args.seed})",
+        )
+        _emit(text, args.out)
+        return 0
+
+    names = [params.name for params in scenarios]
+    machines = _scenario_machines(args)
+
+    if args.action == "sweep":
+        result = run_sweep(
+            names,
+            machines=machines,
+            scale=args.scale,
+            runner=_runner(args),
+        )
+        _emit(result.render(), args.out)
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(result.to_csv())
+        return 0 if result.ok else 1
+
+    # report: re-aggregate whatever the store already holds for the plan.
+    plan = sweep_plan(names, machines, scale=args.scale)
+    store = _store(args)
+    cached = [store.get(spec.content_hash) for spec in plan]
+    present = [record for record in cached if record is not None]
+    result = summarize(present)
+    result.plan = plan
+    missing = len(plan) - len(present)
+    text = result.render()
+    if missing:
+        # An absent run is an unperformed check, not a passed one.
+        text += (f"\nDIFFERENTIAL CHECK INCOMPLETE: {missing} of "
+                 f"{len(plan)} runs not in the store — run "
+                 f"'repro scenarios sweep' first")
+    _emit(text, args.out)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+    return 0 if result.ok and not missing else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.arch.config import _NAMED
     from repro.workloads.catalog import BENCHMARKS
@@ -198,6 +320,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     lines.extend(f"  {v.key:16s} {v}" for v in ALL_VARIANTS)
     lines.append("machine configs:")
     lines.extend(f"  {name}" for name in sorted(_NAMED))
+    lines.append("  gen-...  (generated machine-space names, see "
+                 "'repro scenarios')")
+    from repro.scenarios import FAMILIES
+
+    lines.append("scenario families (repro scenarios): " + ", ".join(FAMILIES))
     lines.append("figures: 6, 7, 9   tables: 4, 5")
     print("\n".join(lines))
     return 0
@@ -221,6 +348,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "figure": _cmd_figure,
     "table": _cmd_table,
+    "scenarios": _cmd_scenarios,
     "list": _cmd_list,
     "cache": _cmd_cache,
 }

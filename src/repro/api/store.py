@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
@@ -85,8 +86,18 @@ class DiskStore(ResultStore):
     Entries carry the package version they were produced with; a version
     mismatch is a cache miss (the stale file is removed on read).  Writes
     are atomic (tmp file + rename), so parallel workers and concurrent
-    processes never observe torn entries.  Reads are memoized in-process.
+    processes never observe torn entries.  Reads retry briefly before
+    declaring an entry corrupt: on filesystems without atomic-rename
+    visibility (network mounts, some Windows setups) a reader racing a
+    writer can observe a short or momentarily-missing file, and treating
+    that transient as corruption would delete a healthy entry under a
+    concurrent sweep.  Reads are memoized in-process.
     """
+
+    #: Read attempts before an unparseable entry is declared corrupt.
+    READ_ATTEMPTS = 3
+    #: Base delay between read attempts (seconds, grows linearly).
+    READ_RETRY_DELAY = 0.01
 
     def __init__(self, root: Union[str, Path, None] = None,
                  version: Optional[str] = None) -> None:
@@ -108,9 +119,8 @@ class DiskStore(ResultStore):
         if memoized is not None:
             return memoized
         path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        payload = self._read_payload(path)
+        if payload is None:
             return None
         try:
             stale = payload.get("version") != self.version
@@ -119,13 +129,45 @@ class DiskStore(ResultStore):
             # Valid JSON of the wrong shape: a miss, not a crash loop.
             record = None
         if record is None:
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - concurrent removal
-                pass
+            self._discard(path)
             return None
         self._memo[key] = record
         return record
+
+    def _read_payload(self, path: Path):
+        """Read + parse one entry, retrying transient failures.
+
+        A missing file is an immediate miss.  An entry is dropped as
+        corrupt only when a read *succeeded* and its content still failed
+        to parse on the final attempt — persistent I/O errors (a scanner
+        holding the file, a flaky mount) are a miss, never a deletion,
+        since they prove nothing about the entry's content."""
+        unparseable = False
+        for attempt in range(self.READ_ATTEMPTS):
+            unparseable = False
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                return None
+            except OSError:  # pragma: no cover - transient I/O error
+                text = None
+            if text is not None:
+                try:
+                    return json.loads(text)
+                except ValueError:
+                    unparseable = True  # possibly a torn read: retry
+            if attempt + 1 < self.READ_ATTEMPTS:
+                time.sleep(self.READ_RETRY_DELAY * (attempt + 1))
+        if unparseable:
+            self._discard(path)
+        return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent removal
+            pass
 
     def put(self, key: str, record: RunRecord) -> None:
         self.root.mkdir(parents=True, exist_ok=True)

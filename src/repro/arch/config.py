@@ -23,6 +23,7 @@ Three named configurations are provided:
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
@@ -309,12 +310,99 @@ _NAMED = {
     "nobal+reg": NOBAL_REG_CONFIG,
 }
 
+#: Prefix of self-describing generated configuration names (see
+#: :func:`encode_config_name`).  ``named_config`` decodes such names on the
+#: fly, so machine-space sweeps can ship configurations across process
+#: boundaries (RunSpec fields, cache keys, CLI arguments) as plain strings.
+GENERATED_PREFIX = "gen-"
+
+_GENERATED_NAME_RE = re.compile(
+    r"^gen-c(?P<clusters>\d+)"
+    r"-mb(?P<mb_count>\d+)x(?P<mb_lat>\d+)"
+    r"-rb(?P<rb_count>\d+)x(?P<rb_lat>\d+)"
+    r"-cm(?P<module>\d+)b(?P<block>\d+)a(?P<ways>\d+)"
+    r"-nl(?P<nl_lat>\d+)p(?P<nl_ports>\d+)$"
+)
+
+
+def encode_config_name(config: MachineConfig) -> str:
+    """The self-describing ``gen-...`` name of a machine configuration.
+
+    The name captures every swept dimension (clusters, both bus sets, the
+    cache-module geometry, the next level) and round-trips through
+    :func:`parse_config_name`.  Two kinds of field are deliberately not
+    encoded: the interleave factor (benchmarks impose their own via
+    :meth:`~repro.workloads.catalog.Benchmark.machine`) and per-run
+    toggles with their own spec surface (Attraction Buffers travel as
+    ``RunSpec.attraction``).  Configurations whose *other* unencoded
+    fields (functional-unit mix, cache hit latency) differ from the
+    defaults have no faithful name, so encoding them raises
+    :class:`~repro.errors.ConfigError` rather than silently producing a
+    name that decodes into a different machine.
+    """
+    defaults = MachineConfig()
+    unencodable = []
+    if config.fu_per_cluster != defaults.fu_per_cluster:
+        unencodable.append("fu_per_cluster")
+    if config.cache.hit_latency != defaults.cache.hit_latency:
+        unencodable.append("cache.hit_latency")
+    if config.attraction_buffer is not None:
+        unencodable.append(
+            "attraction_buffer (use RunSpec.attraction instead)"
+        )
+    if unencodable:
+        raise ConfigError(
+            f"configuration {config.name!r} cannot be encoded as a gen- "
+            f"name: non-default {', '.join(unencodable)} would be lost "
+            f"in the round trip"
+        )
+    cache = config.cache
+    return (
+        f"gen-c{config.num_clusters}"
+        f"-mb{config.memory_buses.count}x{config.memory_buses.latency}"
+        f"-rb{config.register_buses.count}x{config.register_buses.latency}"
+        f"-cm{cache.module_bytes}b{cache.block_bytes}a{cache.associativity}"
+        f"-nl{config.next_level.latency}p{config.next_level.ports}"
+    )
+
+
+def parse_config_name(name: str) -> MachineConfig:
+    """Decode a ``gen-...`` name into a full :class:`MachineConfig`.
+
+    Raises :class:`~repro.errors.ConfigError` when the name does not match
+    the grammar or describes an invalid geometry.
+    """
+    match = _GENERATED_NAME_RE.match(name)
+    if match is None:
+        raise ConfigError(
+            f"malformed generated configuration name {name!r}; expected "
+            f"e.g. {encode_config_name(BASELINE_CONFIG)!r}"
+        )
+    g = {key: int(value) for key, value in match.groupdict().items()}
+    return MachineConfig(
+        name=name,
+        num_clusters=g["clusters"],
+        cache=CacheConfig(
+            module_bytes=g["module"],
+            block_bytes=g["block"],
+            associativity=g["ways"],
+        ),
+        memory_buses=BusConfig(g["mb_count"], g["mb_lat"]),
+        register_buses=BusConfig(g["rb_count"], g["rb_lat"]),
+        next_level=NextLevelConfig(ports=g["nl_ports"], latency=g["nl_lat"]),
+    )
+
 
 def named_config(name: str) -> MachineConfig:
-    """Look up one of the paper's machine configurations by name."""
+    """Look up one of the paper's machine configurations by name, or decode
+    a generated ``gen-...`` name (see :func:`encode_config_name`)."""
     try:
         return _NAMED[name]
     except KeyError:
-        raise ConfigError(
-            f"unknown configuration {name!r}; expected one of {sorted(_NAMED)}"
-        ) from None
+        pass
+    if name.startswith(GENERATED_PREFIX):
+        return parse_config_name(name)
+    raise ConfigError(
+        f"unknown configuration {name!r}; expected one of {sorted(_NAMED)} "
+        f"or a generated '{GENERATED_PREFIX}...' name"
+    )

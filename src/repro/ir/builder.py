@@ -51,6 +51,10 @@ class DdgBuilder:
         #: references of loop-carried uses.
         self._pending: list[Tuple[str, int, int]] = []
 
+    def __len__(self) -> int:
+        """Instructions emitted so far (generators budget op counts)."""
+        return len(self._ddg)
+
     # ------------------------------------------------------------------
     def carried(self, reg: str, distance: int = 1) -> CarriedUse:
         """Reference ``reg`` as defined ``distance`` iterations earlier."""

@@ -12,6 +12,8 @@ iid).  Transformations that need a scratch copy call :meth:`Ddg.clone`.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -215,6 +217,36 @@ class Ddg:
 
     def relabel(self, iid: int, name: str) -> None:
         self.replace_instruction(replace(self.node(iid), name=name))
+
+    def fingerprint(self) -> str:
+        """Stable structural hash of the graph (nodes, edges, MemRefs).
+
+        Identical across processes and interpreter versions, so generators
+        can assert determinism (same parameters => same fingerprint) and
+        sweep harnesses can key scenarios by structure.
+        """
+        def mem_fields(mem) -> Optional[List[object]]:
+            if mem is None:
+                return None
+            return [
+                mem.space, mem.offset, mem.stride, mem.width,
+                mem.pattern.value, mem.spread, mem.ambiguous, mem.salt,
+            ]
+
+        nodes = [
+            [
+                instr.iid, instr.opcode.value, instr.seq, instr.dest,
+                list(instr.srcs), mem_fields(instr.mem), instr.origin,
+                instr.required_cluster, instr.replica_group, instr.name,
+            ]
+            for instr in self.in_program_order()
+        ]
+        edges = sorted(
+            [e.src, e.dst, e.kind.value, e.distance] for e in self.edges()
+        )
+        payload = json.dumps([self.name, nodes, edges],
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def opcode_histogram(self) -> Dict[Opcode, int]:
         hist: Dict[Opcode, int] = {}

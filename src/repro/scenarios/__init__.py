@@ -1,0 +1,82 @@
+"""`repro.scenarios` — seeded synthetic workloads, machine spaces and the
+differential sweep harness.
+
+The paper's evaluation exercises the coherence/scheduling machinery on a
+handful of fixed Mediabench loop models; this subsystem turns the
+reproduction into a general stress/exploration engine:
+
+* :mod:`repro.scenarios.generator` — a deterministic, seeded kernel
+  generator emitting valid loop DDGs across six access-pattern families
+  (strided streams, stencils, reductions, indirect gather/scatter,
+  pointer-chase, engineered alias mixes).  A scenario's *name* encodes
+  every knob, so any process rebuilds the identical benchmark from the
+  string — names plug straight into ``RunSpec``/``Plan`` and the
+  workload catalog resolves them on the fly;
+* :mod:`repro.scenarios.machines` — machine-space grids (cluster counts,
+  bus count/latency, cache geometry) as self-describing ``gen-...``
+  config names layered on :mod:`repro.arch.config`;
+* :mod:`repro.scenarios.sweep` — the differential harness: every
+  scenario runs under free/MDC/DDGT coherence, CoherenceChecker verdicts
+  are cross-checked (violations allowed only under free scheduling) and
+  per-family IPC/II/traffic summaries are aggregated.
+
+Every generated scenario doubles as a fuzz case for the compiler and
+simulator; the CLI front end is ``repro scenarios {generate,sweep,report}``.
+"""
+
+from repro.scenarios.generator import (
+    DEFAULT_SCENARIOS,
+    FAMILIES,
+    SCENARIO_PREFIX,
+    ScenarioParams,
+    build_scenario_ddg,
+    is_scenario_name,
+    sample_scenarios,
+    scenario_benchmark,
+)
+from repro.scenarios.machines import (
+    BUS_GRID,
+    CACHE_GRID,
+    CLUSTER_GRID,
+    DEFAULT_MACHINE_SPACE,
+    machine_grid,
+    resolve_machines,
+    sample_machines,
+)
+from repro.scenarios.rng import ScenarioRng, stable_hash64
+from repro.scenarios.sweep import (
+    DIFFERENTIAL_VARIANTS,
+    FamilySummary,
+    SweepResult,
+    run_sweep,
+    scenario_family,
+    summarize,
+    sweep_plan,
+)
+
+__all__ = [
+    "BUS_GRID",
+    "CACHE_GRID",
+    "CLUSTER_GRID",
+    "DEFAULT_MACHINE_SPACE",
+    "DEFAULT_SCENARIOS",
+    "DIFFERENTIAL_VARIANTS",
+    "FAMILIES",
+    "FamilySummary",
+    "SCENARIO_PREFIX",
+    "ScenarioParams",
+    "ScenarioRng",
+    "SweepResult",
+    "build_scenario_ddg",
+    "is_scenario_name",
+    "machine_grid",
+    "resolve_machines",
+    "run_sweep",
+    "sample_machines",
+    "sample_scenarios",
+    "scenario_benchmark",
+    "scenario_family",
+    "stable_hash64",
+    "summarize",
+    "sweep_plan",
+]

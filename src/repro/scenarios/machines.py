@@ -1,0 +1,107 @@
+"""Machine-space generation.
+
+Produces :class:`~repro.arch.config.MachineConfig` variants as
+*self-describing names* (see :func:`repro.arch.config.encode_config_name`)
+— cluster-count scaling, bus count/latency grids and cache-geometry
+sweeps layered on the Table-2 baseline.  Names, not objects, are the
+interchange format: they slot straight into ``RunSpec.machine`` /
+``Plan.grid(machines=...)`` and survive process boundaries and cache
+keys unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    NextLevelConfig,
+    encode_config_name,
+    named_config,
+)
+from repro.errors import ConfigError
+from repro.scenarios.rng import ScenarioRng, stable_hash64
+
+#: (count, latency) pairs for bus grids: the balanced buses plus the
+#: paper's section-4.2 halved variant.
+BUS_GRID: Tuple[Tuple[int, int], ...] = ((4, 2), (2, 4))
+
+#: (module_bytes, block_bytes, ways) cache geometries around Table 2.
+CACHE_GRID: Tuple[Tuple[int, int, int], ...] = (
+    (2048, 32, 2),   # Table 2 baseline
+    (4096, 32, 2),   # double capacity
+    (2048, 64, 2),   # longer blocks (bigger subblocks per cluster)
+    (1024, 32, 1),   # small direct-mapped
+)
+
+#: Cluster counts the generator sweeps (the paper fixes 4).
+CLUSTER_GRID: Tuple[int, ...] = (2, 4, 8)
+
+
+def machine_grid(
+    clusters: Sequence[int] = CLUSTER_GRID,
+    mem_buses: Sequence[Tuple[int, int]] = BUS_GRID,
+    reg_buses: Sequence[Tuple[int, int]] = ((4, 2),),
+    caches: Sequence[Tuple[int, int, int]] = (CACHE_GRID[0],),
+    next_levels: Sequence[Tuple[int, int]] = ((10, 4),),
+) -> List[str]:
+    """Cartesian machine-space sweep, returned as generated config names.
+
+    Geometrically invalid combinations (e.g. a block too short to give
+    every cluster a whole interleave unit) are skipped rather than
+    raised, so broad grids stay usable.
+    """
+    names: List[str] = []
+    for n in clusters:
+        for module_bytes, block_bytes, ways in caches:
+            for mb_count, mb_lat in mem_buses:
+                for rb_count, rb_lat in reg_buses:
+                    for nl_lat, nl_ports in next_levels:
+                        try:
+                            config = MachineConfig(
+                                name="candidate",
+                                num_clusters=n,
+                                cache=CacheConfig(
+                                    module_bytes=module_bytes,
+                                    block_bytes=block_bytes,
+                                    associativity=ways,
+                                ),
+                                memory_buses=BusConfig(mb_count, mb_lat),
+                                register_buses=BusConfig(rb_count, rb_lat),
+                                next_level=NextLevelConfig(
+                                    ports=nl_ports, latency=nl_lat
+                                ),
+                            )
+                        except ConfigError:
+                            continue
+                        names.append(encode_config_name(config))
+    return names
+
+
+def sample_machines(seed: int, count: int) -> List[str]:
+    """``count`` machine names drawn uniformly from the full grid space,
+    deterministically in ``(seed, index)``."""
+    space = machine_grid(caches=CACHE_GRID)
+    rng = ScenarioRng(stable_hash64(f"machines/{seed}"))
+    return [space[rng.next_u64() % len(space)] for _ in range(count)]
+
+
+def resolve_machines(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate machine names (named or generated) and return them as a
+    list; ``None`` means the Table-2 baseline alone."""
+    if not names:
+        return ["baseline"]
+    for name in names:
+        named_config(name)  # raises ConfigError on malformed names
+    return list(names)
+
+
+#: The compact default space differential sweeps run on: the paper's
+#: machine plus a narrow and a wide cluster variant.
+DEFAULT_MACHINE_SPACE: Tuple[str, ...] = (
+    "baseline",
+    "gen-c2-mb4x2-rb4x2-cm2048b32a2-nl10p4",
+    "gen-c8-mb4x2-rb4x2-cm2048b32a2-nl10p4",
+)

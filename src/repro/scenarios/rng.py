@@ -1,0 +1,68 @@
+"""Seeded, portable randomness for scenario generation.
+
+:class:`ScenarioRng` is a SplitMix64 counter stream: the same seed yields
+the same draw sequence on every platform and Python version, which is the
+contract the generator's determinism guarantees (same scenario name =>
+byte-identical DDG) rest on.  ``random.Random`` is deliberately avoided —
+its distribution helpers have changed across CPython versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence, TypeVar
+
+from repro.errors import WorkloadError
+from repro.workloads.traces import splitmix64
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+T = TypeVar("T")
+
+
+def stable_hash64(text: str) -> int:
+    """A platform-independent 64-bit hash of a string (unlike ``hash``,
+    which is salted per process)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ScenarioRng:
+    """Deterministic pseudo-random draw stream."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        # splitmix64 adds the golden-ratio increment before finalizing,
+        # so emitting from the pre-advance state yields the same stream
+        # as finalize(state + GOLDEN) with a post-advance emit.
+        out = splitmix64(self._state)
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return out
+
+    # ------------------------------------------------------------------
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        if hi < lo:
+            raise WorkloadError(f"empty randint range [{lo}, {hi}]")
+        return lo + self.next_u64() % (hi - lo + 1)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise WorkloadError("choice from an empty sequence")
+        return seq[self.next_u64() % len(seq)]
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next_u64() / 2**64
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self.random() < probability
+
+    def fork(self, label: str) -> "ScenarioRng":
+        """An independent child stream keyed by ``label`` — draws from the
+        child do not perturb the parent sequence."""
+        return ScenarioRng(self.next_u64() ^ stable_hash64(label))

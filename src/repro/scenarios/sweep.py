@@ -1,0 +1,274 @@
+"""The differential sweep harness.
+
+Runs every scenario under the three coherence modes — free (``none``),
+MDC and DDGT — over a machine space, through the ordinary
+:class:`~repro.api.spec.Plan` / :class:`~repro.api.runner.Runner` path
+(so results land in the shared :class:`~repro.api.store.ResultStore` and
+multiprocessing/warm-cache behaviour comes for free), then
+cross-checks the :class:`~repro.sim.coherence.CoherenceChecker` verdicts:
+**coherence violations are allowed only under free scheduling**.  A
+violation reported under MDC or DDGT is a bug in the coherence machinery
+(or the generator found a pathological input) and is surfaced as an
+anomaly.  Per-family IPC/II/traffic summaries aggregate the rest.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.api.records import RunRecord
+from repro.api.runner import Runner, default_runner
+from repro.api.spec import Plan
+from repro.errors import WorkloadError
+from repro.scenarios.generator import (
+    FAMILIES,
+    ScenarioParams,
+    sample_scenarios,
+)
+from repro.scenarios.machines import resolve_machines
+
+#: The differential grid, free modes first: the full coherence x
+#: heuristic cross.  Both heuristics matter — PrefClus tends to
+#: co-locate accesses with their home cluster, while MinComs chases
+#: register traffic and is the placement that actually provokes
+#: coherence races — so MDC and DDGT must be violation-free under both,
+#: not just under the gentle one.
+DIFFERENTIAL_VARIANTS: Tuple[str, ...] = (
+    "none/prefclus", "none/mincoms",
+    "mdc/prefclus", "mdc/mincoms",
+    "ddgt/prefclus", "ddgt/mincoms",
+)
+
+
+def _is_free(variant: str) -> bool:
+    return variant.startswith("none/")
+
+
+@dataclass(frozen=True)
+class FamilySummary:
+    """Aggregate metrics of one (family, variant) cell of a sweep."""
+
+    family: str
+    variant: str
+    runs: int
+    mean_ii: float
+    mean_ipc: float
+    mean_local_hit: float
+    mean_bus_per_iter: float
+    violations: int
+
+    def row(self) -> List[object]:
+        return [
+            self.family, self.variant, self.runs, self.mean_ii,
+            self.mean_ipc, self.mean_local_hit, self.mean_bus_per_iter,
+            self.violations,
+        ]
+
+
+SUMMARY_COLUMNS = (
+    "family", "variant", "runs", "mean_ii", "mean_ipc", "mean_local_hit",
+    "mean_bus_per_iter", "violations",
+)
+
+
+@dataclass
+class SweepResult:
+    """Everything one differential sweep produced."""
+
+    scenarios: List[str]
+    machines: List[str]
+    variants: Tuple[str, ...]
+    plan: Plan
+    records: List[RunRecord]
+    summaries: List[FamilySummary] = field(default_factory=list)
+    #: Human-readable description of every differential-check failure.
+    anomalies: List[str] = field(default_factory=list)
+    #: (benchmark, variant, machine) -> violation count, free mode only —
+    #: the violations the optimistic baseline is *expected* to show.
+    free_violations: Dict[Tuple[str, str, str], int] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when violations appeared only under free scheduling."""
+        return not self.anomalies
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines = [format_table(
+            list(SUMMARY_COLUMNS),
+            [s.row() for s in self.summaries],
+            title=(
+                f"differential sweep: {len(self.scenarios)} scenarios x "
+                f"{len(self.machines)} machines x {len(self.variants)} "
+                f"variants = {len(self.plan)} runs"
+            ),
+        )]
+        free_total = sum(self.free_violations.values())
+        flagged = sum(1 for count in self.free_violations.values() if count)
+        lines.append(
+            f"free-scheduling violations: {free_total} "
+            f"(in {flagged} of {len(self.free_violations)} free runs) — "
+            f"expected under the optimistic baseline"
+        )
+        if self.anomalies:
+            lines.append("DIFFERENTIAL CHECK FAILED:")
+            lines.extend(f"  {msg}" for msg in self.anomalies)
+        else:
+            lines.append(
+                "differential check passed: no violations under MDC/DDGT"
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(SUMMARY_COLUMNS)
+        for s in self.summaries:
+            writer.writerow([
+                s.family, s.variant, s.runs, f"{s.mean_ii:.3f}",
+                f"{s.mean_ipc:.4f}", f"{s.mean_local_hit:.4f}",
+                f"{s.mean_bus_per_iter:.3f}", s.violations,
+            ])
+        return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+def scenario_family(benchmark_name: str) -> str:
+    return ScenarioParams.parse(benchmark_name).family
+
+
+def sweep_plan(
+    scenarios: Sequence[str],
+    machines: Optional[Sequence[str]] = None,
+    variants: Sequence[str] = DIFFERENTIAL_VARIANTS,
+    scale: Optional[float] = None,
+) -> Plan:
+    """The full scenario x machine x variant grid as a ``Plan``."""
+    for name in scenarios:
+        ScenarioParams.parse(name)  # fail fast on malformed names
+    return Plan.grid(
+        benchmarks=list(scenarios),
+        variants=list(variants),
+        machines=resolve_machines(machines),
+        scale=scale,
+    )
+
+
+def summarize(records: Sequence[RunRecord]) -> SweepResult:
+    """Differential cross-check + per-family aggregation of sweep records.
+
+    Standalone so callers holding warm-store records (e.g. the ``report``
+    CLI verb) can re-aggregate without re-running anything.
+    """
+    grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+    anomalies: List[str] = []
+    free_violations: Dict[Tuple[str, str, str], int] = {}
+    for record in records:
+        family = scenario_family(record.benchmark)
+        grouped.setdefault((family, record.variant), []).append(record)
+        if _is_free(record.variant):
+            key = (record.benchmark, record.variant, record.machine)
+            free_violations[key] = record.violations
+        elif record.violations:
+            anomalies.append(
+                f"{record.benchmark} on {record.machine} under "
+                f"{record.variant}: {record.violations} coherence "
+                f"violations (only free scheduling may violate)"
+            )
+
+    summaries: List[FamilySummary] = []
+    for family in FAMILIES:
+        for variant in DIFFERENTIAL_VARIANTS:
+            cell = grouped.pop((family, variant), None)
+            if cell:
+                summaries.append(_summarize_cell(family, variant, cell))
+    # Cells outside the canonical family/variant grid (custom variants).
+    for (family, variant), cell in sorted(grouped.items()):
+        summaries.append(_summarize_cell(family, variant, cell))
+
+    scenarios = sorted({r.benchmark for r in records})
+    machines = sorted({r.machine for r in records})
+    variants = tuple(sorted({r.variant for r in records}))
+    return SweepResult(
+        scenarios=scenarios,
+        machines=machines,
+        variants=variants,
+        plan=Plan(),
+        records=list(records),
+        summaries=summaries,
+        anomalies=anomalies,
+        free_violations=free_violations,
+    )
+
+
+def _summarize_cell(
+    family: str, variant: str, cell: List[RunRecord]
+) -> FamilySummary:
+    iis: List[int] = []
+    ipcs: List[float] = []
+    hits: List[float] = []
+    bus_rates: List[float] = []
+    violations = 0
+    for record in cell:
+        stats = record.merged_stats()
+        cycles = stats.total_cycles
+        iters = sum(loop.kernel_iterations for loop in record.loops)
+        iis.extend(loop.ii for loop in record.loops)
+        if cycles:
+            ipcs.append(stats.issued_ops / cycles)
+        if stats.total_accesses:
+            hits.append(stats.local_hit_ratio)
+        if iters:
+            bus_rates.append(stats.bus_transfers / iters)
+        violations += record.violations
+    return FamilySummary(
+        family=family,
+        variant=variant,
+        runs=len(cell),
+        mean_ii=_mean(iis),
+        mean_ipc=_mean(ipcs),
+        mean_local_hit=_mean(hits),
+        mean_bus_per_iter=_mean(bus_rates),
+        violations=violations,
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+def run_sweep(
+    scenarios: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 0,
+    count: int = 50,
+    families: Optional[Sequence[str]] = None,
+    machines: Optional[Sequence[str]] = None,
+    variants: Sequence[str] = DIFFERENTIAL_VARIANTS,
+    scale: Optional[float] = None,
+    runner: Optional[Runner] = None,
+) -> SweepResult:
+    """Sample (or take) scenarios, run the differential grid, cross-check.
+
+    With an explicit ``scenarios`` list the sampler is bypassed; otherwise
+    ``count`` scenarios are drawn from ``seed`` over ``families``.
+    """
+    if scenarios is None:
+        scenarios = [
+            p.name for p in sample_scenarios(seed, count, families)
+        ]
+    if not scenarios:
+        raise WorkloadError("differential sweep needs at least one scenario")
+    plan = sweep_plan(scenarios, machines, variants, scale)
+    records = (runner or default_runner()).run(plan)
+    result = summarize(records)
+    result.plan = plan
+    result.scenarios = list(scenarios)
+    return result

@@ -351,21 +351,44 @@ def _catalog() -> Dict[str, Benchmark]:
 
 
 def benchmark_names(evaluated_only: bool = True) -> List[str]:
-    """Benchmark names, by default the 13 that appear in the figures."""
-    return [
+    """Benchmark names, by default the 13 that appear in the figures.
+
+    With ``evaluated_only=False`` the list also carries one canonical
+    synthetic scenario per generator family (``scn-...`` names), so
+    existing drivers can run generated workloads by name.
+    """
+    names = [
         name
         for name, bench in _catalog().items()
         if bench.evaluated or not evaluated_only
     ]
+    if not evaluated_only:
+        from repro.scenarios.generator import DEFAULT_SCENARIOS
+
+        names.extend(DEFAULT_SCENARIOS)
+    return names
 
 
 def get_benchmark(name: str) -> Benchmark:
+    """Look up a catalog benchmark, or build a synthetic scenario.
+
+    ``scn-...`` names are resolved through
+    :func:`repro.scenarios.generator.scenario_benchmark`: generation is a
+    pure function of the name, so any process (CLI, multiprocessing
+    worker, warm-cache reader) reconstructs the identical benchmark.
+    """
     try:
         return _catalog()[name]
     except KeyError:
-        raise WorkloadError(
-            f"unknown benchmark {name!r}; known: {sorted(_catalog())}"
-        ) from None
+        pass
+    from repro.scenarios.generator import is_scenario_name, scenario_benchmark
+
+    if is_scenario_name(name):
+        return scenario_benchmark(name)
+    raise WorkloadError(
+        f"unknown benchmark {name!r}; known: {sorted(_catalog())} "
+        f"(or a generated 'scn-...' scenario name)"
+    )
 
 
 #: Names of all benchmarks (Table 1 rows), including the unevaluated one.

@@ -24,8 +24,13 @@ from repro.ir.ddg import Ddg
 _MASK64 = (1 << 64) - 1
 
 
-def _splitmix64(x: int) -> int:
-    """SplitMix64 finalizer — a fast, well-distributed integer hash."""
+def splitmix64(x: int) -> int:
+    """SplitMix64 step — a fast, well-distributed integer hash.
+
+    The single bit-mixing primitive behind every determinism contract in
+    the package: trace address streams here, and the scenario generator's
+    draw streams (:mod:`repro.scenarios.rng`).
+    """
     x = (x + 0x9E3779B97F4A7C15) & _MASK64
     x ^= x >> 30
     x = (x * 0xBF58476D1CE4E5B9) & _MASK64
@@ -33,6 +38,10 @@ def _splitmix64(x: int) -> int:
     x = (x * 0x94D049BB133111EB) & _MASK64
     x ^= x >> 31
     return x
+
+
+#: Backwards-compatible private alias (pre-1.2 internal name).
+_splitmix64 = splitmix64
 
 
 def _mix(seed: int, space_hash: int, salt: int, iteration: int) -> int:

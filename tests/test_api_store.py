@@ -108,6 +108,74 @@ class TestDiskStore:
         assert store.root == tmp_path / "envcache"
 
 
+class TestDiskStoreConcurrencyHardening:
+    def test_torn_read_retries_until_writer_finishes(self, tmp_path,
+                                                     monkeypatch):
+        """A partially-visible entry that completes while the reader
+        retries must be served, not deleted."""
+        record = make_record(cycles=55)
+        writer = DiskStore(tmp_path)
+        writer.put("key1", record)
+        good = (tmp_path / "key1.json").read_text()
+        (tmp_path / "key1.json").write_text(good[: len(good) // 2])
+
+        reader = DiskStore(tmp_path)
+        attempts = []
+        original = DiskStore._read_payload
+
+        def heal_then_read(self, path):
+            def patched_sleep(_seconds):
+                # The "writer" finishes its atomic rename mid-retry.
+                (tmp_path / "key1.json").write_text(good)
+
+            monkeypatch.setattr("repro.api.store.time.sleep", patched_sleep)
+            attempts.append(path)
+            return original(self, path)
+
+        monkeypatch.setattr(DiskStore, "_read_payload", heal_then_read)
+        fetched = reader.get("key1")
+        assert fetched is not None
+        assert fetched.loops[0].compute_cycles == 55
+        assert (tmp_path / "key1.json").exists()
+
+    def test_persistently_corrupt_entry_is_dropped(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setattr("repro.api.store.time.sleep", lambda _s: None)
+        (tmp_path / "bad.json").write_text("{torn")
+        assert DiskStore(tmp_path).get("bad") is None
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_concurrent_writers_same_key_keep_store_readable(self, tmp_path):
+        """Interleaved atomic puts of the same key never tear reads."""
+        import threading
+
+        stores = [DiskStore(tmp_path) for _ in range(4)]
+        errors = []
+
+        def hammer(store, cycles):
+            try:
+                for _ in range(25):
+                    store.put("shared", make_record(cycles=cycles))
+                    got = DiskStore(tmp_path).get("shared")
+                    assert got is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(store, 100 + i))
+            for i, store in enumerate(stores)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = DiskStore(tmp_path).get("shared")
+        assert final is not None
+        # No stray temp files survive the interleaved writes.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
 class TestDefaultStore:
     def test_swap_and_restore(self):
         fresh = MemoryStore()
