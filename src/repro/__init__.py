@@ -18,7 +18,11 @@ The package provides, from scratch:
   grids, a serial/parallel ``Runner``, persistent ``ResultStore`` caching
   and a ``python -m repro`` CLI — on which the experiment drivers
   (:mod:`repro.experiments`) regenerate every table and figure of the
-  evaluation;
+  evaluation.  Compilation runs as a staged pipeline
+  (:mod:`repro.sched.stages`) whose variant-independent front end
+  (unroll → disambiguate → profile) is content-addressed and shared
+  across the 6-way coherence × heuristic cross through an
+  ``ArtifactStore`` (:mod:`repro.api.artifacts`, ``docs/architecture.md``);
 * a seeded synthetic scenario engine (:mod:`repro.scenarios`) — kernel
   and machine-space generators plus a differential free/MDC/DDGT sweep
   harness (``repro scenarios {generate,sweep,report}``) that turns the
@@ -52,7 +56,7 @@ For the low-level path — build a DDG by hand, compile and simulate it —
 see ``examples/quickstart.py`` and :func:`compile_loop`/:func:`simulate`.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.alias import AccessPattern, MemRef
 from repro.arch import (

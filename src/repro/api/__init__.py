@@ -28,6 +28,16 @@ Quick example::
         print(record.benchmark, record.variant, record.total_cycles)
 """
 
+from repro.api.artifacts import (
+    ArtifactStore,
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    artifact_root,
+    artifact_stats,
+    default_artifact_store,
+    reset_artifact_stats,
+    set_default_artifact_store,
+)
 from repro.api.core import execute_benchmark, execute_spec
 from repro.api.records import (
     LoopRecord,
@@ -67,9 +77,11 @@ from repro.api.store import (
 
 __all__ = [
     "ALL_VARIANTS",
+    "ArtifactStore",
     "DDGT_MIN",
     "DDGT_PREF",
     "DEFAULT_CACHE_DIR",
+    "DiskArtifactStore",
     "DiskStore",
     "EVALUATED",
     "FIGURE7_BARS",
@@ -78,6 +90,7 @@ __all__ = [
     "LoopRecord",
     "MDC_MIN",
     "MDC_PREF",
+    "MemoryArtifactStore",
     "MemoryStore",
     "PROFILE_ITERATIONS",
     "Plan",
@@ -86,6 +99,9 @@ __all__ = [
     "RunSpec",
     "Runner",
     "Variant",
+    "artifact_root",
+    "artifact_stats",
+    "default_artifact_store",
     "default_runner",
     "default_scale",
     "default_store",
@@ -95,8 +111,10 @@ __all__ = [
     "parse_variant",
     "records_to_csv",
     "records_to_json",
+    "reset_artifact_stats",
     "resolve_machine",
     "run",
+    "set_default_artifact_store",
     "spec_cache_key",
     "set_default_store",
 ]

@@ -21,10 +21,17 @@ byte-identical.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
 from repro.analysis.report import format_table
+from repro.api.artifacts import (
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    artifact_root,
+    artifact_stats,
+)
 from repro.api.records import records_to_csv, records_to_json
 from repro.api.runner import Runner
 from repro.api.spec import (
@@ -34,7 +41,7 @@ from repro.api.spec import (
     default_scale,
 )
 from repro.api.store import DEFAULT_CACHE_DIR, DiskStore, MemoryStore
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -138,11 +145,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks, variants and configs")
 
-    p_cache = sub.add_parser("cache", help="manage the on-disk store")
-    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache = sub.add_parser(
+        "cache",
+        help="manage the on-disk result + artifact stores",
+    )
+    p_cache.add_argument(
+        "action", choices=("info", "clear", "artifacts", "prune"),
+        help="info: both stores; clear: drop both stores; artifacts: "
+             "artifact count/bytes/hit-rate; prune: drop entries older "
+             "than --older-than",
+    )
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_cache.add_argument(
+        "--older-than", default=None, metavar="AGE",
+        help="age cutoff for prune: seconds, or with a d/h/m/s suffix "
+             "(e.g. 7d, 12h, 30m)",
+    )
 
     return parser
+
+
+#: ``--older-than`` suffixes, in seconds.
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def parse_age(text: str) -> float:
+    """Parse an ``--older-than`` age: plain seconds or ``7d``-style."""
+    raw = text.strip().lower()
+    unit = 1.0
+    if raw and raw[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"invalid age {text!r}: expected seconds or a number with a "
+            f"d/h/m/s suffix (e.g. 7d, 12h, 30m)"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise ConfigError(
+            f"invalid age {text!r}: must be a non-negative finite number"
+        )
+    return value * unit
 
 
 def _store(args: argparse.Namespace):
@@ -151,8 +196,15 @@ def _store(args: argparse.Namespace):
     return DiskStore(args.cache_dir)
 
 
+def _artifact_store(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return MemoryArtifactStore()
+    return DiskArtifactStore(artifact_root(getattr(args, "cache_dir", None)))
+
+
 def _runner(args: argparse.Namespace) -> Runner:
-    return Runner(store=_store(args), parallel=args.parallel)
+    return Runner(store=_store(args), parallel=args.parallel,
+                  artifacts=_artifact_store(args))
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -332,13 +384,42 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = DiskStore(args.cache_dir)
+    artifacts = DiskArtifactStore(artifact_root(args.cache_dir))
     if args.action == "clear":
-        count = store.clear()
-        print(f"removed {count} cached records from {store.root}/")
+        records = store.clear()
+        dropped = artifacts.clear()
+        print(f"removed {records} cached records from {store.root}/")
+        print(f"removed {dropped} artifacts from {artifacts.root}/")
+    elif args.action == "artifacts":
+        stats = artifact_stats()
+        print(f"artifact dir : {artifacts.root}/")
+        print(f"artifacts    : {len(artifacts)}")
+        print(f"size         : {artifacts.size_bytes()} bytes")
+        print(f"version      : {artifacts.version}")
+        if stats.lookups:
+            print(f"hit rate     : {stats.hits}/{stats.lookups} "
+                  f"({stats.hit_rate:.1%}) since process start")
+            for stage in sorted(stats.by_stage):
+                hits, misses = stats.by_stage[stage]
+                print(f"  {stage:13s}: {hits} hits / {misses} misses")
+        else:
+            # Counters are per-process: a standalone `repro cache
+            # artifacts` invocation has not looked anything up yet.
+            print("hit rate     : no artifact lookups in this process "
+                  "(counters reset at process start)")
+    elif args.action == "prune":
+        if args.older_than is None:
+            raise ConfigError("cache prune requires --older-than AGE")
+        age = parse_age(args.older_than)
+        records = store.prune(age)
+        dropped = artifacts.prune(age)
+        print(f"pruned {records} records from {store.root}/")
+        print(f"pruned {dropped} artifacts from {artifacts.root}/")
     else:
-        count = len(store)
         print(f"cache dir : {store.root}/")
-        print(f"records   : {count}")
+        print(f"records   : {len(store)}")
+        print(f"artifacts : {len(artifacts)} "
+              f"({artifacts.size_bytes()} bytes under {artifacts.root}/)")
         print(f"size      : {store.size_bytes()} bytes")
         print(f"version   : {store.version}")
     return 0

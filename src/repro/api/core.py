@@ -1,14 +1,21 @@
-"""Spec execution: the compile+simulate unit of work, cache-free.
+"""Spec execution: the compile+simulate unit of work, result-cache-free.
 
 :func:`execute_spec` turns a declarative :class:`~repro.api.spec.RunSpec`
-into a :class:`~repro.api.records.RunRecord`; caching and parallelism
-live one layer up in :class:`~repro.api.runner.Runner`.
+into a :class:`~repro.api.records.RunRecord`; *result* caching and
+parallelism live one layer up in :class:`~repro.api.runner.Runner`.
+Compilation rides the staged pipeline (:mod:`repro.sched.stages`)
+against an :class:`~repro.api.artifacts.ArtifactStore`, so the
+variant-independent front end (unrolling, disambiguation, profiling) is
+shared across the coherence × heuristic cross instead of being
+recomputed per variant.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Tuple
 
+from repro.api.artifacts import ArtifactStore, default_artifact_store
 from repro.api.records import LoopRecord, RunRecord
 from repro.api.spec import (
     PROFILE_ITERATIONS,
@@ -21,11 +28,41 @@ from repro.errors import WorkloadError
 from repro.sched.pipeline import compile_loop
 from repro.sim.executor import simulate
 from repro.workloads.catalog import Benchmark, LoopSpec, get_benchmark
-from repro.workloads.traces import trace_factory
+from repro.workloads.traces import cached_trace_spec, trace_factory
 
 
-def execute_spec(spec: RunSpec) -> RunRecord:
-    """Compile + simulate the work a spec declares (no caching)."""
+#: Minimum kernel iterations simulated per loop: below this the pipeline
+#: warm-up dominates and the cycle counts stop being comparable across
+#: variants.  Tiny scaled runs are inflated up to this floor (and the
+#: inflation is recorded in :attr:`LoopRecord.iteration_floor`).
+KERNEL_ITERATION_FLOOR = 32
+
+_floor_warning_emitted = False
+
+
+def _warn_iteration_floor(benchmark: str, loop: str, natural: int) -> None:
+    """One-time (per process) warning that the floor inflated a run."""
+    global _floor_warning_emitted
+    if _floor_warning_emitted:
+        return
+    _floor_warning_emitted = True
+    warnings.warn(
+        f"kernel-iteration floor: {benchmark}:{loop} scaled to {natural} "
+        f"kernel iterations; simulating {KERNEL_ITERATION_FLOOR} instead "
+        f"(the floor is recorded in LoopRecord.iteration_floor; further "
+        f"floored runs will not be reported)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def execute_spec(spec: RunSpec,
+                 artifacts: Optional[ArtifactStore] = None) -> RunRecord:
+    """Compile + simulate the work a spec declares (no result caching).
+
+    ``artifacts`` (default: the process-wide store) shares front-end
+    compilation stages with every other spec run in this process.
+    """
     machine = resolve_machine(spec)
     return execute_benchmark(
         spec.benchmark,
@@ -36,6 +73,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         loop=spec.loop,
         seeds=spec.seeds,
         spec_key=spec.content_hash,
+        artifacts=artifacts,
     )
 
 
@@ -48,9 +86,12 @@ def execute_benchmark(
     loop: Optional[str] = None,
     seeds: Optional[Tuple[int, int]] = None,
     spec_key: str = "",
+    artifacts: Optional[ArtifactStore] = None,
 ) -> RunRecord:
     """Run every loop (or one named loop) of a benchmark on an already
     *effective* machine — interleave and Attraction Buffers applied."""
+    if artifacts is None:
+        artifacts = default_artifact_store()
     bench = get_benchmark(name)
     loops = bench.loops
     if loop is not None:
@@ -71,7 +112,8 @@ def execute_benchmark(
     )
     for loop_spec in loops:
         record.loops.append(
-            _run_loop(bench, loop_spec, variant, machine, scale, seeds)
+            _run_loop(bench, loop_spec, variant, machine, scale, seeds,
+                      artifacts)
         )
     return record
 
@@ -83,10 +125,13 @@ def _run_loop(
     machine: MachineConfig,
     scale: float,
     seeds: Optional[Tuple[int, int]] = None,
+    artifacts: Optional[ArtifactStore] = None,
 ) -> LoopRecord:
     profile_seed, execute_seed = seeds or (bench.profile_seed,
                                            bench.execute_seed)
-    profile = trace_factory(PROFILE_ITERATIONS, seed=profile_seed)
+    # One frozen, keyed spec per (iterations, seed): its key is what lets
+    # the profile stage hit the artifact store across the variant cross.
+    profile = cached_trace_spec(PROFILE_ITERATIONS, seed=profile_seed)
     compiled = compile_loop(
         spec.ddg,
         machine,
@@ -94,12 +139,18 @@ def _run_loop(
         heuristic=variant.heuristic,
         trace_factory=profile,
         unroll_factor=spec.unroll,
+        artifacts=artifacts,
     )
     # spec.iterations counts *original* loop iterations; one kernel
     # iteration of the unrolled loop covers `unroll_factor` of them, so
     # every variant of a loop simulates the same amount of original work.
     original_iters = spec.scaled_iterations(scale)
-    kernel_iters = max(32, original_iters // compiled.unroll_factor)
+    natural_iters = original_iters // compiled.unroll_factor
+    kernel_iters = max(KERNEL_ITERATION_FLOOR, natural_iters)
+    iteration_floor = 0
+    if kernel_iters > natural_iters:
+        iteration_floor = KERNEL_ITERATION_FLOOR
+        _warn_iteration_floor(bench.name, spec.name, natural_iters)
     execution = trace_factory(kernel_iters, seed=execute_seed)(compiled.ddg)
     sim = simulate(compiled, execution, iterations=kernel_iters)
     return LoopRecord(
@@ -120,4 +171,5 @@ def _run_loop(
         fake_consumers=(
             len(compiled.ddgt.fake_consumers) if compiled.ddgt else 0
         ),
+        iteration_floor=iteration_floor,
     )

@@ -36,6 +36,10 @@ class LoopRecord:
     static_copies: int
     replicated_instances: int
     fake_consumers: int
+    #: When the kernel-iteration floor inflated a tiny scaled run, the
+    #: floor that was applied (e.g. 32); 0 when the natural iteration
+    #: count was simulated as-is.
+    iteration_floor: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -62,6 +66,7 @@ class LoopRecord:
             "static_copies": self.static_copies,
             "replicated_instances": self.replicated_instances,
             "fake_consumers": self.fake_consumers,
+            "iteration_floor": self.iteration_floor,
         }
 
     @classmethod
@@ -80,6 +85,7 @@ class LoopRecord:
             static_copies=int(data["static_copies"]),
             replicated_instances=int(data["replicated_instances"]),
             fake_consumers=int(data["fake_consumers"]),
+            iteration_floor=int(data.get("iteration_floor", 0)),
         )
 
 

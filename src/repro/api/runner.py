@@ -1,21 +1,36 @@
 """Plan execution: serial or ``multiprocessing``, store-backed.
 
-The :class:`Runner` is the only component that touches both the store
+The :class:`Runner` is the only component that touches both the stores
 and the executor.  Given a plan it:
 
 1. looks every spec up in its :class:`~repro.api.store.ResultStore` by
    content hash;
-2. computes the misses — serially, or fanned out over a process pool
-   when ``parallel`` is set (results come back in submission order, so
-   output ordering is deterministic either way);
-3. stores the fresh records and returns all records in plan order.
+2. groups the misses by :attr:`~repro.api.spec.RunSpec.frontend_key`, so
+   the specs of one coherence × heuristic cross — which share their
+   compilation front end verbatim — execute together and hit each
+   other's warm artifacts.  Serially the shared
+   :class:`~repro.api.artifacts.ArtifactStore` makes that automatic;
+   under ``parallel`` each *group* becomes one pool task, so siblings
+   stay in one worker process even though workers don't share memory
+   (when there are fewer groups than requested workers, the largest
+   groups are split so occupancy never drops below what the caller
+   asked for);
+3. stores the fresh records and returns all records in plan order
+   (grouping never reorders results).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro.api.artifacts import (
+    ArtifactStore,
+    DiskArtifactStore,
+    MemoryArtifactStore,
+    default_artifact_store,
+)
 from repro.api.core import execute_spec
 from repro.api.records import RunRecord
 from repro.api.spec import Plan, RunSpec
@@ -24,29 +39,51 @@ from repro.api.store import ResultStore, default_store
 PlanLike = Union[Plan, Iterable[RunSpec]]
 
 
-def _worker(payload: Dict[str, object]) -> Dict[str, object]:
-    """Top-level (hence picklable) pool worker: dict in, dict out, so the
-    payload crosses process boundaries as pure JSON-able data."""
-    record = execute_spec(RunSpec.from_dict(payload))
-    return record.to_dict()
+def _worker_group(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Top-level (hence picklable) pool worker: one front-end group in,
+    one record dict per spec out, so payloads cross process boundaries
+    as pure JSON-able data.
+
+    With an ``artifact_root`` the worker replays/records front-end
+    artifacts on disk (shared with every other worker and process);
+    without one it falls back to its process-local default store, which
+    still makes sibling variants of the group warm for each other.
+    """
+    root = payload.get("artifact_root")
+    artifacts = (
+        DiskArtifactStore(root, version=payload.get("artifact_version"))
+        if root else default_artifact_store()
+    )
+    return [
+        execute_spec(RunSpec.from_dict(data), artifacts=artifacts).to_dict()
+        for data in payload["specs"]
+    ]
 
 
 class Runner:
-    """Executes plans against a result store.
+    """Executes plans against a result store and an artifact store.
 
     ``parallel=None`` (or 0/1) runs serially in-process; ``parallel=N``
-    fans misses out over ``N`` worker processes; ``parallel=-1`` uses
-    every available CPU.
+    fans miss *groups* out over ``N`` worker processes; ``parallel=-1``
+    uses every available CPU.
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
-                 parallel: Optional[int] = None) -> None:
+                 parallel: Optional[int] = None,
+                 artifacts: Optional[ArtifactStore] = None) -> None:
         self._store = store
+        self._artifacts = artifacts
         self.parallel = parallel
 
     @property
     def store(self) -> ResultStore:
         return self._store if self._store is not None else default_store()
+
+    @property
+    def artifacts(self) -> ArtifactStore:
+        if self._artifacts is not None:
+            return self._artifacts
+        return default_artifact_store()
 
     # ------------------------------------------------------------------
     def run_one(self, spec: RunSpec) -> RunRecord:
@@ -69,29 +106,93 @@ class Runner:
         return records  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _group_indices(specs: List[RunSpec]) -> List[List[int]]:
+        """Partition spec indices by shared front-end key, preserving
+        first-seen group order and in-group plan order."""
+        groups: Dict[str, List[int]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(spec.frontend_key, []).append(index)
+        return list(groups.values())
+
+    @staticmethod
+    def _balance(groups: List[List[int]], workers: int) -> List[List[int]]:
+        """Split the largest groups until every worker has a task.
+
+        Grouping must never *reduce* parallelism below what the caller
+        asked for: a single 6-variant cross run with ``parallel=6`` should
+        use six workers, not one.  Splitting a group trades some in-worker
+        front-end sharing for occupancy — with a disk artifact store the
+        split halves still share through the file system, and the loss is
+        bounded by one redundant front end per extra worker.
+        """
+        tasks = [list(group) for group in groups]
+        while len(tasks) < workers:
+            largest = max(range(len(tasks)), key=lambda j: len(tasks[j]))
+            if len(tasks[largest]) <= 1:
+                break
+            group = tasks.pop(largest)
+            mid = (len(group) + 1) // 2
+            tasks[largest:largest] = [group[:mid], group[mid:]]
+        return tasks
+
     def _execute(self, specs: List[RunSpec]) -> List[RunRecord]:
         workers = self._effective_parallel(len(specs))
         if workers <= 1:
-            return [execute_spec(spec) for spec in specs]
-        payloads = [spec.to_dict() for spec in specs]
+            # The shared artifact store already makes sibling variants
+            # warm for each other; plan order is fine serially.
+            artifacts = self.artifacts
+            return [
+                execute_spec(spec, artifacts=artifacts) for spec in specs
+            ]
+        tasks = self._balance(self._group_indices(specs), workers)
+        workers = min(workers, len(tasks))
+        artifacts = self.artifacts
+        artifact_root = None
+        artifact_version = None
+        if isinstance(artifacts, DiskArtifactStore):
+            artifact_root = str(artifacts.root)
+            # Propagate the resolved version so workers read/write the
+            # same entries even when the parent pinned a custom one.
+            artifact_version = artifacts.version
+        elif not isinstance(artifacts, MemoryArtifactStore):
+            warnings.warn(
+                "custom ArtifactStore cannot cross process boundaries; "
+                "parallel workers fall back to per-worker in-memory "
+                "artifact stores (use a DiskArtifactStore to share)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        payloads = [
+            {
+                "specs": [specs[i].to_dict() for i in indices],
+                "artifact_root": artifact_root,
+                "artifact_version": artifact_version,
+            }
+            for indices in tasks
+        ]
         with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(_worker, payloads)
-        return [RunRecord.from_dict(data) for data in results]
+            grouped_results = pool.map(_worker_group, payloads)
+        results: List[Optional[RunRecord]] = [None] * len(specs)
+        for indices, dicts in zip(tasks, grouped_results):
+            for i, data in zip(indices, dicts):
+                results[i] = RunRecord.from_dict(data)
+        return results  # type: ignore[return-value]
 
-    def _effective_parallel(self, num_specs: int) -> int:
+    def _effective_parallel(self, num_tasks: int) -> int:
         parallel = self.parallel
         if parallel is None or parallel == 0:
             return 1
         if parallel < 0:
             parallel = multiprocessing.cpu_count()
-        return max(1, min(parallel, num_specs))
+        return max(1, min(parallel, num_tasks))
 
 
 # ----------------------------------------------------------------------
 # Module-level conveniences
 # ----------------------------------------------------------------------
 def default_runner(parallel: Optional[int] = None) -> Runner:
-    """A runner on the process-wide default store."""
+    """A runner on the process-wide default stores."""
     return Runner(store=None, parallel=parallel)
 
 

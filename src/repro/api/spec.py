@@ -14,10 +14,6 @@ grid/sweep constructors.
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
-import json
 import math
 import os
 from dataclasses import dataclass
@@ -25,6 +21,7 @@ from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.arch.config import MachineConfig, named_config
 from repro.errors import ConfigError
+from repro.hashing import digest, jsonable
 from repro.sched.pipeline import CoherenceMode, Heuristic
 
 #: Benchmarks on the figures' x-axes, in the paper's order.
@@ -119,31 +116,13 @@ def parse_variant(key: Union[str, Variant]) -> Variant:
 
 
 # ----------------------------------------------------------------------
-# Canonical hashing helpers
+# Canonical hashing helpers (shared discipline: repro.hashing)
 # ----------------------------------------------------------------------
-def _jsonable(obj):
-    """Convert nested dataclasses/enums/dicts to canonical JSON values."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: _jsonable(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, enum.Enum):
-        return obj.value
-    if isinstance(obj, dict):
-        return {
-            str(_jsonable(k)): _jsonable(v)
-            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
-        }
-    if isinstance(obj, (list, tuple)):
-        return [_jsonable(v) for v in obj]
-    return obj
-
-
-def _digest(payload) -> str:
-    canonical = json.dumps(_jsonable(payload), sort_keys=True,
-                           separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+#: Backwards-compatible aliases — the canonical helpers moved to
+#: :mod:`repro.hashing` so layers below the API (stage keys in
+#: :mod:`repro.sched.stages`) share the same digest discipline.
+_jsonable = jsonable
+_digest = digest
 
 
 def machine_fingerprint(config: MachineConfig) -> str:
@@ -152,9 +131,10 @@ def machine_fingerprint(config: MachineConfig) -> str:
     Unlike ``config.name``, the fingerprint distinguishes configurations
     that share a name but differ structurally (e.g. a config before and
     after :meth:`~repro.arch.config.MachineConfig.with_attraction_buffers`
-    or with a different interleave factor).
+    or with a different interleave factor).  Equivalent to
+    :meth:`MachineConfig.fingerprint`.
     """
-    return _digest(config)
+    return config.fingerprint()
 
 
 def spec_cache_key(
@@ -256,6 +236,27 @@ class RunSpec:
             loop=self.loop,
             seeds=self.seeds,
         )
+
+    @property
+    def frontend_key(self) -> str:
+        """Key of the variant-independent compilation front end.
+
+        Two specs with equal ``frontend_key`` share their unrolling,
+        disambiguation and preferred-cluster profiling verbatim — the
+        paper's whole 6-way coherence × heuristic cross collapses onto
+        one key.  ``scale`` is deliberately absent: it only shapes the
+        simulated execution trace, which is back-end work.  The
+        :class:`~repro.api.runner.Runner` groups plan misses by this key
+        so sibling variants land in the same worker and hit each other's
+        warm artifacts.
+        """
+        return _digest({
+            "benchmark": self.benchmark,
+            "machine": machine_fingerprint(self.resolved_machine()),
+            "loop": self.loop,
+            "seeds": self.seeds,
+            "profile_iterations": PROFILE_ITERATIONS,
+        })
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:

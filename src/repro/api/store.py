@@ -9,6 +9,12 @@ A :class:`ResultStore` maps a spec content hash to a
   (override with ``REPRO_CACHE_DIR``), validated against the package
   version so a version bump invalidates every stale entry.
 
+The hardened file machinery (atomic writes, torn-read retries,
+version-stamped payloads, pruning) lives in :class:`JsonFileStore`, which
+is shared with the compilation-artifact layer one level below
+(:mod:`repro.api.artifacts` keeps stage outputs under
+``.repro_cache/artifacts/``).
+
 The process-wide default store is swappable via :func:`set_default_store`
 — e.g. tests inject a fresh :class:`MemoryStore`, the CLI injects a
 :class:`DiskStore` so repeated figure regenerations across processes are
@@ -34,6 +40,177 @@ def _package_version() -> str:
     from repro import __version__
 
     return __version__
+
+
+def resolve_cache_root(root: Union[str, Path, None] = None) -> Path:
+    """The effective cache directory: explicit > $REPRO_CACHE_DIR > default."""
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return Path(root)
+
+
+class JsonFileStore:
+    """A keyed store of JSON payloads, one file per key under ``root``.
+
+    The machinery every on-disk cache layer in the package shares:
+
+    * entries carry the package version they were produced with; a
+      version mismatch is a cache miss (the stale file is removed on
+      read);
+    * writes are atomic (tmp file + rename), so parallel workers and
+      concurrent processes never observe torn entries;
+    * reads retry briefly before declaring an entry corrupt: on
+      filesystems without atomic-rename visibility (network mounts, some
+      Windows setups) a reader racing a writer can observe a short or
+      momentarily-missing file, and treating that transient as corruption
+      would delete a healthy entry under a concurrent sweep;
+    * :meth:`prune` drops entries whose file is older than a cutoff.
+
+    Subclasses pick the payload envelope field (``PAYLOAD_FIELD``) and
+    layer their own decoding/memoization on :meth:`get_payload` /
+    :meth:`put_payload`.
+    """
+
+    #: Read attempts before an unparseable entry is declared corrupt.
+    READ_ATTEMPTS = 3
+    #: Base delay between read attempts (seconds, grows linearly).
+    READ_RETRY_DELAY = 0.01
+    #: Envelope key the stored value lives under.
+    PAYLOAD_FIELD = "record"
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 version: Optional[str] = None) -> None:
+        self.root = resolve_cache_root(root)
+        self._version = version
+
+    @property
+    def version(self) -> str:
+        return self._version or _package_version()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Raw payload plumbing
+    # ------------------------------------------------------------------
+    def get_payload(self, key: str):
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Stale (version-mismatched) and malformed envelopes are removed;
+        transient I/O failures are a miss, never a deletion.
+        """
+        path = self._path(key)
+        envelope = self._read_payload(path)
+        if envelope is None:
+            return None
+        try:
+            stale = envelope.get("version") != self.version
+            payload = None if stale else envelope[self.PAYLOAD_FIELD]
+        except (AttributeError, KeyError, TypeError):
+            payload = None  # valid JSON of the wrong shape: a miss
+        if payload is None:
+            self._discard(path)
+            return None
+        return payload
+
+    def put_payload(self, key: str, payload) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "version": self.version,
+            "key": key,
+            self.PAYLOAD_FIELD: payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _read_payload(self, path: Path):
+        """Read + parse one entry, retrying transient failures.
+
+        A missing file is an immediate miss.  An entry is dropped as
+        corrupt only when a read *succeeded* and its content still failed
+        to parse on the final attempt — persistent I/O errors (a scanner
+        holding the file, a flaky mount) are a miss, never a deletion,
+        since they prove nothing about the entry's content."""
+        unparseable = False
+        for attempt in range(self.READ_ATTEMPTS):
+            unparseable = False
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                return None
+            except OSError:  # pragma: no cover - transient I/O error
+                text = None
+            if text is not None:
+                try:
+                    return json.loads(text)
+                except ValueError:
+                    unparseable = True  # possibly a torn read: retry
+            if attempt + 1 < self.READ_ATTEMPTS:
+                time.sleep(self.READ_RETRY_DELAY * (attempt + 1))
+        if unparseable:
+            self._discard(path)
+        return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent removal
+            pass
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        count = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    count += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+        return count
+
+    def prune(self, older_than_seconds: float,
+              now: Optional[float] = None) -> int:
+        """Drop entries whose file modification time is older than
+        ``older_than_seconds``; returns the number removed."""
+        if now is None:
+            now = time.time()
+        cutoff = now - older_than_seconds
+        count = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        count += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
+        return count
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return iter(())
+        return (path.stem for path in sorted(self.root.glob("*.json")))
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
 
 
 class ResultStore:
@@ -80,136 +257,51 @@ class MemoryStore(ResultStore):
         return iter(tuple(self._records))
 
 
-class DiskStore(ResultStore):
-    """One JSON file per record under ``root`` (default ``.repro_cache/``).
-
-    Entries carry the package version they were produced with; a version
-    mismatch is a cache miss (the stale file is removed on read).  Writes
-    are atomic (tmp file + rename), so parallel workers and concurrent
-    processes never observe torn entries.  Reads retry briefly before
-    declaring an entry corrupt: on filesystems without atomic-rename
-    visibility (network mounts, some Windows setups) a reader racing a
-    writer can observe a short or momentarily-missing file, and treating
-    that transient as corruption would delete a healthy entry under a
-    concurrent sweep.  Reads are memoized in-process.
+class DiskStore(JsonFileStore, ResultStore):
+    """One JSON file per :class:`RunRecord` under ``root`` (default
+    ``.repro_cache/``), on the hardened :class:`JsonFileStore` machinery.
+    Reads are memoized in-process.
     """
 
-    #: Read attempts before an unparseable entry is declared corrupt.
-    READ_ATTEMPTS = 3
-    #: Base delay between read attempts (seconds, grows linearly).
-    READ_RETRY_DELAY = 0.01
+    PAYLOAD_FIELD = "record"
 
     def __init__(self, root: Union[str, Path, None] = None,
                  version: Optional[str] = None) -> None:
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-        self.root = Path(root)
-        self._version = version
+        super().__init__(root, version)
         self._memo: Dict[str, RunRecord] = {}
-
-    @property
-    def version(self) -> str:
-        return self._version or _package_version()
-
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[RunRecord]:
         memoized = self._memo.get(key)
         if memoized is not None:
             return memoized
-        path = self._path(key)
-        payload = self._read_payload(path)
+        payload = self.get_payload(key)
         if payload is None:
             return None
         try:
-            stale = payload.get("version") != self.version
-            record = None if stale else RunRecord.from_dict(payload["record"])
+            record = RunRecord.from_dict(payload)
         except (AttributeError, KeyError, TypeError, ValueError):
             # Valid JSON of the wrong shape: a miss, not a crash loop.
-            record = None
-        if record is None:
-            self._discard(path)
+            self._discard(self._path(key))
             return None
         self._memo[key] = record
         return record
 
-    def _read_payload(self, path: Path):
-        """Read + parse one entry, retrying transient failures.
-
-        A missing file is an immediate miss.  An entry is dropped as
-        corrupt only when a read *succeeded* and its content still failed
-        to parse on the final attempt — persistent I/O errors (a scanner
-        holding the file, a flaky mount) are a miss, never a deletion,
-        since they prove nothing about the entry's content."""
-        unparseable = False
-        for attempt in range(self.READ_ATTEMPTS):
-            unparseable = False
-            try:
-                text = path.read_text()
-            except FileNotFoundError:
-                return None
-            except OSError:  # pragma: no cover - transient I/O error
-                text = None
-            if text is not None:
-                try:
-                    return json.loads(text)
-                except ValueError:
-                    unparseable = True  # possibly a torn read: retry
-            if attempt + 1 < self.READ_ATTEMPTS:
-                time.sleep(self.READ_RETRY_DELAY * (attempt + 1))
-        if unparseable:
-            self._discard(path)
-        return None
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:  # pragma: no cover - concurrent removal
-            pass
-
     def put(self, key: str, record: RunRecord) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "version": self.version,
-            "key": key,
-            "record": record.to_dict(),
-        }
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.put_payload(key, record.to_dict())
         self._memo[key] = record
 
     def clear(self) -> int:
         self._memo.clear()
-        count = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                try:
-                    path.unlink()
-                    count += 1
-                except OSError:  # pragma: no cover - concurrent removal
-                    pass
-        return count
+        return super().clear()
 
-    def keys(self) -> Iterator[str]:
-        if not self.root.is_dir():
-            return iter(())
-        return (path.stem for path in sorted(self.root.glob("*.json")))
-
-    def size_bytes(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(path.stat().st_size for path in self.root.glob("*.json"))
+    def prune(self, older_than_seconds: float,
+              now: Optional[float] = None) -> int:
+        removed = super().prune(older_than_seconds, now)
+        if removed:
+            # get/keys/len must agree after maintenance: drop the memo so
+            # pruned entries are not served from RAM.
+            self._memo.clear()
+        return removed
 
 
 # ----------------------------------------------------------------------

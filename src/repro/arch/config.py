@@ -186,6 +186,18 @@ class MachineConfig:
             if self.fu_per_cluster.get(kind, 0) < 0:
                 raise ConfigError(f"negative FU count for {kind}")
 
+    def fingerprint(self) -> str:
+        """Stable content hash of every field of this configuration.
+
+        Distinguishes configurations that share a ``name`` but differ
+        structurally; the building block of spec cache keys
+        (:mod:`repro.api.spec`) and compilation stage keys
+        (:mod:`repro.sched.stages`).
+        """
+        from repro.hashing import digest
+
+        return digest(self)
+
     # ------------------------------------------------------------------
     # Derived geometry
     # ------------------------------------------------------------------

@@ -22,6 +22,68 @@ from repro.ir.edges import DepKind, Edge, MEMORY_DEP_KINDS
 from repro.ir.instructions import Instruction, Opcode
 
 
+def _mem_to_dict(mem) -> Optional[Dict[str, object]]:
+    if mem is None:
+        return None
+    return {
+        "space": mem.space,
+        "offset": mem.offset,
+        "stride": mem.stride,
+        "width": mem.width,
+        "pattern": mem.pattern.value,
+        "spread": mem.spread,
+        "ambiguous": mem.ambiguous,
+        "salt": mem.salt,
+    }
+
+
+def _mem_from_dict(data) :
+    if data is None:
+        return None
+    from repro.alias.memref import AccessPattern, MemRef
+
+    return MemRef(
+        space=data["space"],
+        offset=data["offset"],
+        stride=data["stride"],
+        width=data["width"],
+        pattern=AccessPattern(data["pattern"]),
+        spread=data["spread"],
+        ambiguous=data["ambiguous"],
+        salt=data["salt"],
+    )
+
+
+def _instruction_to_dict(instr: Instruction) -> Dict[str, object]:
+    return {
+        "iid": instr.iid,
+        "opcode": instr.opcode.value,
+        "seq": instr.seq,
+        "dest": instr.dest,
+        "srcs": list(instr.srcs),
+        "mem": _mem_to_dict(instr.mem),
+        "origin": instr.origin,
+        "required_cluster": instr.required_cluster,
+        "replica_group": instr.replica_group,
+        "name": instr.name,
+    }
+
+
+def _instruction_from_dict(data: Dict[str, object]) -> Instruction:
+    return Instruction(
+        iid=data["iid"],
+        opcode=Opcode(data["opcode"]),
+        seq=data["seq"],
+        dest=data["dest"],
+        srcs=tuple(data["srcs"]),
+        mem=_mem_from_dict(data["mem"]),
+        origin=data["origin"],
+        required_cluster=data["required_cluster"],
+        replica_group=data["replica_group"],
+        name=data["name"],
+    )
+
+
 class Ddg:
     """A loop-body data dependence graph."""
 
@@ -247,6 +309,66 @@ class Ddg:
         payload = json.dumps([self.name, nodes, edges],
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Serialization (exact structural round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot reconstructing this graph *exactly*.
+
+        Unlike :meth:`fingerprint` (which canonicalizes), the snapshot
+        preserves node insertion order and per-node edge-list order, so a
+        graph loaded with :meth:`from_dict` iterates identically to the
+        original — deterministic passes (scheduling, cluster assignment)
+        produce bit-identical results on either copy.  This is what lets
+        compilation artifacts live in an on-disk store.
+        """
+        return {
+            "name": self.name,
+            "next_iid": self._next_iid,
+            "next_seq": self._next_seq,
+            "nodes": [
+                _instruction_to_dict(instr) for instr in self._nodes.values()
+            ],
+            "succs": {
+                str(iid): [[e.src, e.dst, e.kind.value, e.distance]
+                           for e in edges]
+                for iid, edges in self._succs.items()
+            },
+            "preds": {
+                str(iid): [[e.src, e.dst, e.kind.value, e.distance]
+                           for e in edges]
+                for iid, edges in self._preds.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Ddg":
+        """Rebuild a graph serialized by :meth:`to_dict`."""
+        ddg = cls(data["name"])
+        for node_data in data["nodes"]:
+            instr = _instruction_from_dict(node_data)
+            if instr.iid in ddg._nodes:
+                raise GraphError(f"duplicate iid {instr.iid} in snapshot")
+            ddg._nodes[instr.iid] = instr
+        def load_edges(serialized) -> Dict[int, List[Edge]]:
+            # Key order must be node insertion order (as the live class
+            # maintains it); JSON canonicalization may have string-sorted
+            # the object keys, so rebuild from the nodes list instead.
+            return {
+                iid: [
+                    Edge(src, dst, DepKind(kind), distance)
+                    for src, dst, kind, distance in serialized.get(
+                        str(iid), ())
+                ]
+                for iid in ddg._nodes
+            }
+
+        ddg._succs = load_edges(data["succs"])
+        ddg._preds = load_edges(data["preds"])
+        ddg._next_iid = data["next_iid"]
+        ddg._next_seq = data["next_seq"]
+        return ddg
 
     def opcode_histogram(self) -> Dict[Opcode, int]:
         hist: Dict[Opcode, int] = {}

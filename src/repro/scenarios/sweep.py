@@ -3,8 +3,11 @@
 Runs every scenario under the three coherence modes — free (``none``),
 MDC and DDGT — over a machine space, through the ordinary
 :class:`~repro.api.spec.Plan` / :class:`~repro.api.runner.Runner` path
-(so results land in the shared :class:`~repro.api.store.ResultStore` and
-multiprocessing/warm-cache behaviour comes for free), then
+(so results land in the shared :class:`~repro.api.store.ResultStore`,
+multiprocessing/warm-cache behaviour comes for free, and the runner's
+front-end grouping lets all six variants of a scenario share one
+unroll+disambiguate+profile compilation via the
+:class:`~repro.api.artifacts.ArtifactStore`), then
 cross-checks the :class:`~repro.sim.coherence.CoherenceChecker` verdicts:
 **coherence violations are allowed only under free scheduling**.  A
 violation reported under MDC or DDGT is a bug in the coherence machinery

@@ -1,13 +1,23 @@
 """The clustered modulo scheduler and the paper's two coherence solutions.
 
 Public entry point: :func:`repro.sched.pipeline.compile_loop`, which runs
-the full phase sequence (unrolling, disambiguation, MDC or DDGT, cluster
-assignment, copy insertion, latency assignment, iterative modulo
-scheduling, MinComs post-pass) and returns a
-:class:`~repro.sched.pipeline.CompilationResult`.
+the staged pipeline of :mod:`repro.sched.stages` (unrolling,
+disambiguation, profiling, MDC or DDGT, cluster assignment, copy
+insertion, latency assignment, iterative modulo scheduling, MinComs
+post-pass) and returns a
+:class:`~repro.sched.pipeline.CompilationResult`.  The
+variant-independent front end is content-addressed and shareable
+through an artifact store (see ``docs/architecture.md``).
 """
 
 from repro.sched.schedule import Schedule, ScheduledOp, edge_latency
+from repro.sched.stages import (
+    FRONTEND_STAGES,
+    PIPELINE_STAGES,
+    StageDef,
+    reset_stage_counters,
+    stage_counters,
+)
 from repro.sched.mii import minimum_ii, rec_mii, res_mii
 from repro.sched.mdc import MdcResult, apply_mdc, memory_dependent_chains
 from repro.sched.ddgt import DdgtResult, apply_ddgt
@@ -35,6 +45,11 @@ __all__ = [
     "assign_clusters",
     "CompilationResult",
     "CoherenceMode",
+    "FRONTEND_STAGES",
     "Heuristic",
+    "PIPELINE_STAGES",
+    "StageDef",
     "compile_loop",
+    "reset_stage_counters",
+    "stage_counters",
 ]

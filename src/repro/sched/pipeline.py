@@ -1,7 +1,7 @@
-"""The full compilation pipeline.
+"""The full compilation pipeline — public front door.
 
-:func:`compile_loop` strings the phases together the way the paper's
-compiler does:
+:func:`compile_loop` runs the staged pipeline of
+:mod:`repro.sched.stages` the way the paper's compiler does:
 
 1. loop unrolling for locality (section 2.2);
 2. memory disambiguation — conservative MF/MA/MO edges (section 3.1);
@@ -13,76 +13,33 @@ compiler does:
 6. explicit copy insertion for cross-cluster register flow;
 7. latency assignment + iterative modulo scheduling;
 8. for MinComs: the virtual->physical post-pass re-mapping.
+
+Stages 1–3 (the *front end*) are variant-independent; pass an artifact
+store (see :mod:`repro.api.artifacts`) to share them across the
+coherence × heuristic cross instead of recomputing them per variant.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from repro.alias.disambiguation import add_memory_dependences
-from repro.alias.profiles import (
-    ClusterProfile,
-    TraceLike,
-    profile_preferred_clusters,
-)
+from repro.alias.profiles import ClusterProfile, TraceLike
 from repro.arch.config import MachineConfig
-from repro.errors import SchedulingError
 from repro.ir.ddg import Ddg
-from repro.ir.unroll import locality_unroll_factor, unroll
-from repro.ir.verify import verify_ddg
-from repro.sched.cluster import (
-    ClusterAssignment,
-    HeuristicKind,
-    assign_clusters,
+from repro.sched.cluster import HeuristicKind
+from repro.sched.stages import (
+    CoherenceMode,
+    CompilationResult,
+    Heuristic,
+    execute_pipeline,
 )
-from repro.sched.copies import insert_copies
-from repro.sched.ddgt import DdgtResult, apply_ddgt
-from repro.sched.latency import schedule_with_latency_policy
-from repro.sched.mdc import MdcResult, apply_mdc
-from repro.sched.postpass import best_cluster_permutation
-from repro.sched.schedule import Schedule, ScheduledOp
 
-
-class CoherenceMode(enum.Enum):
-    """How memory coherence is guaranteed (or, for NONE, assumed away)."""
-
-    #: optimistic baseline: memory edges constrain timing but not placement
-    NONE = "none"
-    MDC = "mdc"
-    DDGT = "ddgt"
-
-
-#: Public alias: the paper's two cluster-assignment heuristics.
-Heuristic = HeuristicKind
-
-
-@dataclass
-class CompilationResult:
-    """Everything produced by one run of the pipeline."""
-
-    schedule: Schedule
-    ddg: Ddg  # the final, scheduled graph (replicas/copies/fakes included)
-    source: Ddg  # post-unroll, pre-transformation graph (for CMR/CAR etc.)
-    assignment: ClusterAssignment
-    coherence: CoherenceMode
-    heuristic: HeuristicKind
-    machine: MachineConfig
-    profiles: Dict[int, ClusterProfile] = field(default_factory=dict)
-    mdc: Optional[MdcResult] = None
-    ddgt: Optional[DdgtResult] = None
-    copies: List[int] = field(default_factory=list)
-    unroll_factor: int = 1
-
-    @property
-    def num_copies(self) -> int:
-        """Explicit communication operations in the kernel (Table 4)."""
-        return len(self.copies)
-
-    @property
-    def ii(self) -> int:
-        return self.schedule.ii
+__all__ = [
+    "CoherenceMode",
+    "CompilationResult",
+    "Heuristic",
+    "compile_loop",
+]
 
 
 def compile_loop(
@@ -97,6 +54,7 @@ def compile_loop(
     add_mem_deps: bool = True,
     profile_iterations: Optional[int] = 256,
     check: bool = True,
+    artifacts=None,
 ) -> CompilationResult:
     """Compile one loop for the clustered machine.
 
@@ -107,104 +65,32 @@ def compile_loop(
         preferred-cluster profiling.  The workload catalog passes the
         *profile* data set here (Table 1 distinguishes profile and
         execution inputs).  Either this or ``profiles`` must be provided
-        for PrefClus.
+        for PrefClus.  When the factory carries a ``key`` attribute (see
+        :class:`repro.workloads.traces.TraceSpec`), profiling results are
+        artifact-cacheable.
     unroll_factor:
         ``None`` = automatic (the locality heuristic); 1 disables.
     add_mem_deps:
         Run conservative disambiguation.  Disable when the input graph
         already carries hand-written memory edges (e.g. the paper's
         Figure 3 example).
+    artifacts:
+        Optional artifact store (``get(key) -> dict | None`` /
+        ``put(key, dict)``).  Front-end stage outputs are replayed from —
+        and recorded into — the store, so the 6-way variant cross of one
+        loop shares unrolling, disambiguation and profiling.  ``None``
+        (the default) compiles from scratch.
     """
-    work = ddg.clone()
-    factor = (
-        locality_unroll_factor(work, machine)
-        if unroll_factor is None
-        else unroll_factor
-    )
-    if factor > 1:
-        work = unroll(work, factor)
-    if add_mem_deps:
-        add_memory_dependences(work)
-    if check:
-        verify_ddg(work, machine)
-
-    if profiles is None and trace_factory is not None:
-        trace = trace_factory(work)
-        profiles = profile_preferred_clusters(
-            work, trace, machine, max_iterations=profile_iterations
-        )
-    if profiles is None:
-        if heuristic is HeuristicKind.PREFCLUS:
-            raise SchedulingError(
-                "PrefClus needs profiles: pass trace_factory= or profiles="
-            )
-        profiles = {}
-
-    source = work.clone()
-
-    mdc_result: Optional[MdcResult] = None
-    ddgt_result: Optional[DdgtResult] = None
-    if coherence is CoherenceMode.MDC:
-        mdc_result = apply_mdc(work, profiles)
-    elif coherence is CoherenceMode.DDGT:
-        ddgt_result = apply_ddgt(work, machine)
-        work = ddgt_result.ddg
-    if check:
-        verify_ddg(work, machine)
-
-    assignment = assign_clusters(work, machine, heuristic, profiles, mdc_result)
-    copies = insert_copies(work, machine, assignment)
-    schedule = schedule_with_latency_policy(work, machine, assignment)
-
-    if heuristic is HeuristicKind.MINCOMS:
-        assignment, schedule = _postpass(
-            work, machine, assignment, schedule, profiles
-        )
-
-    if check:
-        schedule.validate()
-
-    return CompilationResult(
-        schedule=schedule,
-        ddg=work,
-        source=source,
-        assignment=assignment,
+    return execute_pipeline(
+        ddg,
+        machine,
         coherence=coherence,
         heuristic=heuristic,
-        machine=machine,
+        trace_factory=trace_factory,
         profiles=profiles,
-        mdc=mdc_result,
-        ddgt=ddgt_result,
-        copies=copies,
-        unroll_factor=factor,
+        unroll_factor=unroll_factor,
+        add_mem_deps=add_mem_deps,
+        profile_iterations=profile_iterations,
+        check=check,
+        artifacts=artifacts,
     )
-
-
-def _postpass(
-    ddg: Ddg,
-    machine: MachineConfig,
-    assignment: ClusterAssignment,
-    schedule: Schedule,
-    profiles: Dict[int, ClusterProfile],
-):
-    """Apply the MinComs virtual->physical mapping to the finished schedule
-    (clusters are homogeneous, so permuting them preserves validity)."""
-    mapping = best_cluster_permutation(ddg, machine, assignment, profiles)
-    if all(mapping[c] == c for c in mapping):
-        return assignment, schedule
-    new_assignment = assignment.permuted(mapping)
-    new_ops = {
-        iid: ScheduledOp(op.iid, mapping[op.cluster], op.time)
-        for iid, op in schedule.ops.items()
-    }
-    for instr in list(ddg):
-        if instr.required_cluster is not None:
-            ddg.pin_cluster(instr.iid, mapping[instr.required_cluster])
-    new_schedule = Schedule(
-        ii=schedule.ii,
-        ops=new_ops,
-        ddg=ddg,
-        machine=machine,
-        assumed_latency=schedule.assumed_latency,
-    )
-    return new_assignment, new_schedule

@@ -7,7 +7,12 @@ specifies its interleave factor and a weighted set of loops; each loop is a
 DDG template plus deterministic profile/execution address traces.
 """
 
-from repro.workloads.traces import AddressTrace, trace_factory
+from repro.workloads.traces import (
+    AddressTrace,
+    TraceSpec,
+    cached_trace_spec,
+    trace_factory,
+)
 from repro.workloads.kernels import (
     chain_kernel,
     copy_kernel,
@@ -27,6 +32,8 @@ from repro.workloads.specialization import specialize_ambiguous
 
 __all__ = [
     "AddressTrace",
+    "TraceSpec",
+    "cached_trace_spec",
     "trace_factory",
     "chain_kernel",
     "copy_kernel",

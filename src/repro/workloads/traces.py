@@ -15,6 +15,8 @@ see identical addresses.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, Optional
 
 from repro.alias.memref import AccessPattern
@@ -137,7 +139,13 @@ def trace_factory(
     padded: bool = True,
 ) -> Callable[[Ddg], AddressTrace]:
     """A factory suitable for :func:`repro.sched.pipeline.compile_loop`'s
-    ``trace_factory`` argument and for building execution traces."""
+    ``trace_factory`` argument and for building execution traces.
+
+    For the common keyable case (no explicit base map), prefer
+    :func:`cached_trace_spec` — its :class:`TraceSpec` carries a content
+    key, which is what lets the staged pipeline cache profiling results
+    in the artifact store.
+    """
 
     def build(ddg: Ddg) -> AddressTrace:
         return AddressTrace(
@@ -149,3 +157,52 @@ def trace_factory(
         )
 
     return build
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A declarative, *keyed* trace factory.
+
+    Callable like the closures :func:`trace_factory` returns, but frozen
+    and content-addressable: :attr:`key` names the trace's content, so
+    the staged pipeline (:mod:`repro.sched.stages`) can cache profiling
+    results derived from it.  Explicit ``base_of`` maps are not
+    representable here — they have no canonical key; use
+    :func:`trace_factory` for those (profiling then simply isn't
+    artifact-cached).
+    """
+
+    num_iterations: int
+    seed: int = 0
+    padded: bool = True
+
+    @property
+    def key(self) -> str:
+        """Canonical content key of the address streams this spec yields."""
+        return (
+            f"iters{self.num_iterations}-seed{self.seed}"
+            f"-padded{int(self.padded)}"
+        )
+
+    def __call__(self, ddg: Ddg) -> AddressTrace:
+        return AddressTrace(
+            ddg,
+            num_iterations=self.num_iterations,
+            seed=self.seed,
+            padded=self.padded,
+        )
+
+
+@lru_cache(maxsize=None)
+def cached_trace_spec(num_iterations: int, seed: int = 0,
+                      padded: bool = True) -> TraceSpec:
+    """Memoized :class:`TraceSpec` construction.
+
+    The run loop historically rebuilt an identical profile-trace callable
+    for every loop of every variant from the same
+    ``(PROFILE_ITERATIONS, profile_seed)`` pair; this returns the one
+    frozen spec per distinct ``(iterations, seed, padded)`` triple
+    instead, so trace identity is stable across the whole variant cross
+    (and the artifact layer above it caches the actual profiling work).
+    """
+    return TraceSpec(num_iterations, seed, padded)

@@ -1,0 +1,76 @@
+"""Golden-record capture for the staged-pipeline equivalence tests.
+
+Runs the full coherence x heuristic cross (all six variants) for a small
+set of catalog benchmarks and generated scenarios through
+:func:`repro.api.core.execute_spec` and snapshots every
+:class:`~repro.api.records.RunRecord` as canonical JSON.  The goldens
+were captured from the *monolithic* ``compile_loop`` path immediately
+before the staged-pipeline refactor; ``tests/test_golden_equivalence.py``
+asserts the staged, artifact-cached path reproduces them byte-for-byte.
+
+Regenerate (only when a deliberate behavior change invalidates them)::
+
+    PYTHONPATH=src python tests/goldens/capture.py
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+GOLDEN_SCALE = 0.1
+#: Three catalog benchmarks spanning the kernel shapes: a long rotating
+#: chain (gsmdec), table lookups + streams (g721dec), several small
+#: in-place filter chains (rasta).
+CATALOG_BENCHMARKS = ("gsmdec", "g721dec", "rasta")
+SCENARIO_SEED = 0
+SCENARIO_COUNT = 20
+
+
+def golden_key(benchmark: str, variant: str) -> str:
+    return f"{benchmark}|{variant}"
+
+
+def scenario_names():
+    from repro.scenarios.generator import sample_scenarios
+
+    return [p.name for p in sample_scenarios(SCENARIO_SEED, SCENARIO_COUNT)]
+
+
+def capture(benchmarks) -> dict:
+    from repro.api.core import execute_spec
+    from repro.api.spec import ALL_VARIANTS, RunSpec
+
+    goldens = {}
+    for bench in benchmarks:
+        for variant in ALL_VARIANTS:
+            spec = RunSpec(benchmark=bench, variant=variant.key,
+                           scale=GOLDEN_SCALE)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                record = execute_spec(spec)
+            goldens[golden_key(bench, variant.key)] = record.to_dict()
+    return goldens
+
+
+def write(goldens: dict, name: str) -> Path:
+    path = GOLDEN_DIR / name
+    with open(path, "w") as handle:
+        json.dump(goldens, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+    return path
+
+
+def main() -> None:
+    catalog = capture(CATALOG_BENCHMARKS)
+    path = write(catalog, "catalog_goldens.json")
+    print(f"{path}: {len(catalog)} records")
+    scenarios = capture(scenario_names())
+    path = write(scenarios, "scenario_goldens.json")
+    print(f"{path}: {len(scenarios)} records")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,84 @@ class TestCacheCommand:
         }, "cached rerun must not rewrite entries"
 
 
+class TestCacheArtifactVerbs:
+    def _warm(self, tmp_path):
+        cache = tmp_path / "cache"
+        main(["run", "gsmdec", "-v", "mdc/prefclus", "--scale", "0.1",
+              "--cache-dir", str(cache)])
+        return cache
+
+    def test_artifacts_reports_count_bytes_hit_rate(self, tmp_path,
+                                                    capsys):
+        cache = self._warm(tmp_path)
+        assert (cache / "artifacts").is_dir()
+        capsys.readouterr()
+        assert main(["cache", "artifacts", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts    :" in out
+        assert "hit rate" in out and "since process start" in out
+        assert "unroll" in out
+
+    def test_artifacts_without_lookups_says_so(self, tmp_path, capsys):
+        """A standalone invocation (fresh process, no lookups yet) must
+        not pretend a 0/0 hit rate is a measurement."""
+        from repro.api.artifacts import reset_artifact_stats
+
+        reset_artifact_stats()
+        assert main(["cache", "artifacts",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no artifact lookups in this process" in out
+
+    def test_info_mentions_artifacts(self, tmp_path, capsys):
+        cache = self._warm(tmp_path)
+        capsys.readouterr()
+        main(["cache", "info", "--cache-dir", str(cache)])
+        assert "artifacts :" in capsys.readouterr().out
+
+    def test_clear_clears_both_stores(self, tmp_path, capsys):
+        cache = self._warm(tmp_path)
+        assert list((cache / "artifacts").glob("*.json"))
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 cached records" in out
+        assert "artifacts" in out
+        assert not list(cache.glob("*.json"))
+        assert not list((cache / "artifacts").glob("*.json"))
+
+    def test_prune_requires_and_parses_age(self, tmp_path, capsys):
+        import os
+        import time
+
+        from repro.api.cli import parse_age
+
+        assert parse_age("90") == 90.0
+        assert parse_age("30m") == 1800.0
+        assert parse_age("12h") == 43200.0
+        assert parse_age("7d") == 7 * 86400.0
+        for bad in ("soon", "nan", "inf", "-5", "nand"):
+            with pytest.raises(Exception):
+                parse_age(bad)
+
+        cache = self._warm(tmp_path)
+        capsys.readouterr()
+        rc = main(["cache", "prune", "--cache-dir", str(cache)])
+        assert rc == 2, "prune without --older-than is a clean error"
+        capsys.readouterr()
+
+        stale = time.time() - 3 * 86400
+        for path in cache.glob("*.json"):
+            os.utime(path, (stale, stale))
+        assert main(["cache", "prune", "--older-than", "1d",
+                     "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 records" in out
+        assert not list(cache.glob("*.json"))
+        # Artifact files were fresh, so they all survive.
+        assert list((cache / "artifacts").glob("*.json"))
+
+
 class TestFigureCommand:
     def test_figure7_small_subset(self, tmp_path, capsys):
         out_file = tmp_path / "figure7.txt"

@@ -103,6 +103,114 @@ class TestLoopScopedSpecs:
                 store=MemoryStore())
 
 
+class TestFrontendGrouping:
+    def test_frontend_key_shared_across_the_variant_cross(self):
+        keys = {
+            RunSpec(benchmark="gsmdec", variant=v, scale=SCALE).frontend_key
+            for v in ("none/prefclus", "none/mincoms", "mdc/prefclus",
+                      "mdc/mincoms", "ddgt/prefclus", "ddgt/mincoms")
+        }
+        assert len(keys) == 1, "all six variants must share one front end"
+
+    def test_frontend_key_ignores_scale_but_not_machine_or_seeds(self):
+        base = RunSpec(benchmark="gsmdec", scale=0.1)
+        assert base.frontend_key == \
+            RunSpec(benchmark="gsmdec", scale=0.7).frontend_key
+        assert base.frontend_key != \
+            RunSpec(benchmark="gsmenc", scale=0.1).frontend_key
+        assert base.frontend_key != \
+            RunSpec(benchmark="gsmdec", scale=0.1,
+                    machine="nobal+mem").frontend_key
+        assert base.frontend_key != \
+            RunSpec(benchmark="gsmdec", scale=0.1,
+                    seeds=(1, 2)).frontend_key
+        assert base.frontend_key != \
+            RunSpec(benchmark="gsmdec", scale=0.1,
+                    attraction=True).frontend_key
+
+    def test_group_indices_partition_preserves_order(self):
+        specs = list(PLAN.specs)  # gsmdec x2 variants, gsmenc x2 variants
+        groups = Runner._group_indices(specs)
+        assert [sorted(g) for g in groups] == [[0, 1], [2, 3]]
+        flattened = [i for group in groups for i in group]
+        assert sorted(flattened) == list(range(len(specs)))
+
+    def test_balance_splits_groups_to_fill_workers(self):
+        one_cross = [list(range(6))]
+        tasks = Runner._balance(one_cross, 4)
+        assert len(tasks) == 4
+        assert sorted(i for t in tasks for i in t) == list(range(6))
+        assert all(tasks)
+        # Enough groups already: nothing is split.
+        assert Runner._balance([[0, 1], [2, 3]], 2) == [[0, 1], [2, 3]]
+        # Singletons cannot be split further.
+        assert Runner._balance([[0]], 8) == [[0]]
+
+    def test_single_group_plan_still_parallelizes_correctly(self):
+        plan = Plan.grid(benchmarks=["gsmdec"],
+                         variants=("mdc/prefclus", "ddgt/prefclus",
+                                   "mdc/mincoms", "ddgt/mincoms"),
+                         scale=SCALE)
+        assert len({s.frontend_key for s in plan}) == 1
+        serial = Runner(store=MemoryStore()).run(plan)
+        parallel = Runner(store=MemoryStore(), parallel=4).run(plan)
+        assert [a.to_dict() for a in parallel] == [
+            b.to_dict() for b in serial
+        ]
+
+    def test_parallel_groups_share_disk_artifacts(self, tmp_path):
+        from repro.api.artifacts import DiskArtifactStore
+
+        artifacts = DiskArtifactStore(tmp_path / "artifacts")
+        runner = Runner(store=MemoryStore(), parallel=2,
+                        artifacts=artifacts)
+        parallel = runner.run(PLAN)
+        serial = Runner(store=MemoryStore()).run(PLAN)
+        assert [a.to_dict() for a in parallel] == [
+            b.to_dict() for b in serial
+        ]
+        stages = {key.split("-", 1)[0] for key in artifacts.keys()}
+        assert stages == {"unroll", "disambiguate", "profile"}
+
+    def test_workers_honor_a_pinned_artifact_version(self, tmp_path):
+        import json
+
+        from repro.api.artifacts import DiskArtifactStore
+
+        root = tmp_path / "artifacts"
+        runner = Runner(store=MemoryStore(), parallel=2,
+                        artifacts=DiskArtifactStore(root, version="pinned"))
+        runner.run(Plan(PLAN.specs[:2]))
+        versions = {
+            json.loads(path.read_text())["version"]
+            for path in root.glob("*.json")
+        }
+        assert versions == {"pinned"}, (
+            "workers must write the parent store's version, or the two "
+            "sides treat each other's entries as stale"
+        )
+
+    def test_custom_artifact_store_warns_in_parallel(self):
+        from repro.api.artifacts import MemoryArtifactStore
+
+        class CustomStore(MemoryArtifactStore):
+            pass
+
+        class PlainCustom:
+            def get(self, key):
+                return None
+
+            def put(self, key, payload):
+                pass
+
+        # A MemoryArtifactStore subclass is fine (expected process-local).
+        Runner(store=MemoryStore(), parallel=2,
+               artifacts=CustomStore()).run(Plan(PLAN.specs[:2]))
+        with pytest.warns(RuntimeWarning, match="cannot cross process"):
+            Runner(store=MemoryStore(), parallel=2,
+                   artifacts=PlainCustom()).run(Plan(PLAN.specs[:2]))
+
+
 class TestLegacyRunBenchmark:
     def test_shares_store_with_new_api(self, store):
         from repro.experiments.common import run_benchmark

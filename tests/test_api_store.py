@@ -102,6 +102,21 @@ class TestDiskStore:
         assert store.clear() == 2
         assert list(store.keys()) == []
 
+    def test_prune_drops_old_entries_and_the_memo(self, tmp_path):
+        import os
+        import time
+
+        store = DiskStore(tmp_path)
+        store.put("old", make_record(cycles=1))
+        store.put("new", make_record(cycles=2))
+        assert store.get("old") is not None  # memoized
+        stale = time.time() - 3600
+        os.utime(tmp_path / "old.json", (stale, stale))
+        assert store.prune(older_than_seconds=60) == 1
+        assert store.get("old") is None, "pruned entry must not be served"
+        assert store.get("new") is not None
+        assert sorted(store.keys()) == ["new"]
+
     def test_env_var_default_root(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         store = DiskStore()
