@@ -207,7 +207,16 @@ class JsonFileStore:
     def size_bytes(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(path.stat().st_size for path in self.root.glob("*.json"))
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                # The entry vanished between the glob and the stat (a
+                # concurrent prune/clear/put): count what remains instead
+                # of crashing the scan, like prune already does.
+                continue
+        return total
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())

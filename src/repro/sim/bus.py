@@ -50,6 +50,7 @@ class BusFabric:
         self._bus_free_at: List[int] = [0] * config.count
         #: delivery cycle -> messages landing then
         self._in_flight: Dict[int, List[BusMessage]] = {}
+        self._queued = 0  # messages currently waiting in source queues
         self._rr_start = 0
         self.transfers = 0
         self.queued_cycles = 0  # total cycles messages spent waiting
@@ -58,24 +59,70 @@ class BusFabric:
     def send(self, message: BusMessage) -> None:
         """Enqueue a transfer at its source cluster."""
         self._queues[message.src].append(message)
+        self._queued += 1
 
     def pending(self) -> int:
-        return sum(len(q) for q in self._queues) + sum(
-            len(v) for v in self._in_flight.values()
-        )
+        return self._queued + sum(len(v) for v in self._in_flight.values())
+
+    # ------------------------------------------------------------------
+    # Event-skipping support (see ``docs/architecture.md``)
+    # ------------------------------------------------------------------
+    def next_free_bus(self) -> int:
+        """Earliest cycle at which at least one bus is (or becomes)
+        free — the first cycle a queued message could inject."""
+        return min(self._bus_free_at)
+
+    def skip_window(self, start: int, stop: int) -> None:
+        """Advance per-cycle fabric state across cycles ``[start, stop)``
+        during which :meth:`inject` provably moves no message.
+
+        Two such window kinds exist, and they replay differently:
+
+        * *stuck* — messages are queued but every bus stays occupied for
+          the whole window (``stop <= next_free_bus()``).  ``inject``
+          bails out before touching the round-robin pointer and only
+          accounts wait cycles, so the window collapses to one bulk
+          ``queued_cycles`` update;
+        * *idle* — no messages queued, no deliveries due.  The only
+          per-cycle state touched is the round-robin pointer, which
+          rotates exactly on the cycles where at least one bus is free.
+
+        Replaying arbitration state exactly keeps later injection
+        decisions — and therefore every downstream stat — identical to a
+        per-cycle run.
+        """
+        if self._queued:
+            self.queued_cycles += self._queued * (stop - start)
+            return
+        free_from = min(self._bus_free_at)
+        begin = start if start > free_from else free_from
+        if stop > begin:
+            self._rr_start = (
+                self._rr_start + (stop - begin)
+            ) % self.num_clusters
 
     # ------------------------------------------------------------------
     def deliver(self, cycle: int) -> None:
         """Hand over every message whose transfer completes this cycle."""
-        for message in self._in_flight.pop(cycle, []):
+        if not self._in_flight:
+            return
+        for message in self._in_flight.pop(cycle, ()):
             message.on_deliver(cycle)
 
     def inject(self, cycle: int) -> None:
         """Assign queued messages to free buses (round-robin over sources,
         at most one injection per source per cycle)."""
+        if not self._queued:
+            # Nothing to move: arbitration still rotates whenever a bus
+            # is free (the state later injections depend on).
+            for t in self._bus_free_at:
+                if t <= cycle:
+                    self._rr_start = (self._rr_start + 1) % self.num_clusters
+                    return
+            return
         free = [b for b, t in enumerate(self._bus_free_at) if t <= cycle]
         if not free:
-            self._account_waiting(cycle)
+            self.queued_cycles += self._queued
             return
         order = [
             (self._rr_start + k) % self.num_clusters
@@ -89,12 +136,10 @@ class BusFabric:
             if not queue:
                 continue
             message = queue.popleft()
+            self._queued -= 1
             bus = free.pop()
             self._bus_free_at[bus] = cycle + self.config.latency
             arrival = cycle + self.config.latency
             self._in_flight.setdefault(arrival, []).append(message)
             self.transfers += 1
-        self._account_waiting(cycle)
-
-    def _account_waiting(self, cycle: int) -> None:
-        self.queued_cycles += sum(len(q) for q in self._queues)
+        self.queued_cycles += self._queued

@@ -12,6 +12,14 @@ checker walks the whole access stream in sequential order and records, for
 every load instance, the version of the last store instance that wrote its
 address — the *expected* version.  At run time the memory system reports
 what each load actually observed.
+
+Observation points are *untimed*: the memory system reports each load at
+its serialization point (a local/attracted probe, a home-module response,
+or a fill replay) and each write inversion at store application, as side
+effects of access flows and event deliveries.  The event-skipping
+executor only fast-forwards cycles on which no flow advances, so the
+sequence of observations — and hence every violation count — is
+identical under both simulation engines.
 """
 
 from __future__ import annotations

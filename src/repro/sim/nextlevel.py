@@ -39,12 +39,14 @@ class NextLevel:
 
     def tick(self, cycle: int) -> None:
         """Complete due fills, then accept up to ``ports`` new requests."""
-        for req in self._completions.pop(cycle, []):
-            req.on_fill(cycle)
-        accepted = 0
-        while self._queue and accepted < self.config.ports:
-            req = self._queue.popleft()
-            done = cycle + self.config.latency
-            self._completions.setdefault(done, []).append(req)
-            accepted += 1
-        self.queued_cycles += len(self._queue)
+        if self._completions:
+            for req in self._completions.pop(cycle, ()):
+                req.on_fill(cycle)
+        if self._queue:
+            accepted = 0
+            while self._queue and accepted < self.config.ports:
+                req = self._queue.popleft()
+                done = cycle + self.config.latency
+                self._completions.setdefault(done, []).append(req)
+                accepted += 1
+            self.queued_cycles += len(self._queue)

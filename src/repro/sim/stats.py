@@ -41,6 +41,16 @@ _COUNTER_FIELDS = (
     "next_level_requests",
 )
 
+#: Engine-internal diagnostics of the event-skipping executor.  These are
+#: deliberately *excluded* from ``to_dict``/``from_dict``: the serialized
+#: form of a run is engine-independent and byte-identical to the captured
+#: goldens (``tests/test_golden_equivalence.py``), while these counters
+#: describe how the run was executed, not what it observed.
+_DIAGNOSTIC_FIELDS = (
+    "fast_forwarded_cycles",
+    "fast_retired_indexes",
+)
+
 
 @dataclass
 class SimStats:
@@ -62,6 +72,12 @@ class SimStats:
     bus_transfers: int = 0
     bus_queued_cycles: int = 0
     next_level_requests: int = 0
+    #: stalled/drain cycles the event-skipping engine jumped over in bulk
+    #: (diagnostic; not serialized — see ``_DIAGNOSTIC_FIELDS``)
+    fast_forwarded_cycles: int = 0
+    #: kernel indexes retired by the "no loads in flight, none due" bulk
+    #: fast path (diagnostic; not serialized)
+    fast_retired_indexes: int = 0
 
     # ------------------------------------------------------------------
     def record_access(self, kind: AccessType) -> None:
@@ -95,7 +111,7 @@ class SimStats:
         merged = SimStats()
         for kind in AccessType:
             merged.accesses[kind] = self.accesses[kind] + other.accesses[kind]
-        for name in _COUNTER_FIELDS:
+        for name in _COUNTER_FIELDS + _DIAGNOSTIC_FIELDS:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
 

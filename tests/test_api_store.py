@@ -190,6 +190,19 @@ class TestDiskStoreConcurrencyHardening:
         # No stray temp files survive the interleaved writes.
         assert list(tmp_path.glob("*.tmp")) == []
 
+    def test_size_bytes_tolerates_entries_vanishing_mid_scan(self, tmp_path):
+        """``repro cache info``/``artifacts`` must not crash when a
+        concurrent prune/clear deletes an entry between the glob and the
+        stat.  A dangling symlink reproduces exactly that window: listed
+        by the glob, gone by stat time."""
+        store = DiskStore(tmp_path)
+        store.put("a", make_record())
+        store.put("b", make_record())
+        intact = store.size_bytes()
+        assert intact > 0
+        (tmp_path / "vanished.json").symlink_to(tmp_path / "no-such-entry")
+        assert store.size_bytes() == intact
+
 
 class TestDefaultStore:
     def test_swap_and_restore(self):
