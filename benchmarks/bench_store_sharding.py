@@ -1,0 +1,83 @@
+"""Sharded store-wide operations vs the legacy flat-directory scan.
+
+Before PR 5 the on-disk stores kept every entry in one flat directory,
+and ``keys()`` / ``size_bytes()`` / ``prune()`` rescanned (glob + stat)
+the whole thing on every call — O(N) per operation, which a weekly
+200-scenario sweep (thousands of cached records and artifacts) pays over
+and over from the CLI and the sweep drivers.  The sharded layout splits
+entries over 256 two-hex-char directories and answers store-wide
+questions from a lazily maintained index validated by shard-directory
+mtimes, so the steady state costs ~256 ``stat`` calls instead of a full
+tree walk.
+
+This bench builds both layouts at ``ENTRIES`` entries, runs the three
+store-wide operations repeatedly against each, checks they agree, and
+asserts the sharded store is at least ``MIN_SPEEDUP``× faster.  Wired
+into the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api.store import JsonFileStore
+
+ENTRIES = 5000
+REPEAT = 3
+MIN_SPEEDUP = 2.0
+
+
+def _fill(store: JsonFileStore, entries: int) -> None:
+    for i in range(entries):
+        store.put_payload(f"bench-{i:06d}", {"i": i})
+
+
+def _cycle(store: JsonFileStore):
+    """One round of every store-wide operation (prune with a cutoff far
+    in the past, so nothing is actually removed)."""
+    count = sum(1 for _ in store.keys())
+    size = store.size_bytes()
+    pruned = store.prune(older_than_seconds=30 * 86400)
+    return count, size, pruned
+
+
+def _time_cycles(store: JsonFileStore):
+    start = time.perf_counter()
+    result = None
+    for _ in range(REPEAT):
+        result = _cycle(store)
+    return time.perf_counter() - start, result
+
+
+def test_sharded_store_wide_ops_beat_flat_scan(tmp_path):
+    flat = JsonFileStore(tmp_path / "flat", sharded=False)
+    sharded = JsonFileStore(tmp_path / "sharded")
+    _fill(flat, ENTRIES)
+    _fill(sharded, ENTRIES)
+
+    # One untimed round each: the sharded store builds its index here
+    # (the one-off full scan every long-lived process amortizes), and the
+    # flat store warms the page cache so the comparison is scan-vs-index,
+    # not cold-vs-warm I/O.
+    warm_flat = _cycle(flat)
+    warm_sharded = _cycle(sharded)
+    assert warm_flat[0] == warm_sharded[0] == ENTRIES
+    assert warm_flat[1] == warm_sharded[1] > 0
+    assert warm_flat[2] == warm_sharded[2] == 0
+
+    flat_seconds, flat_result = _time_cycles(flat)
+    sharded_seconds, sharded_result = _time_cycles(sharded)
+    assert flat_result == sharded_result, (
+        "both layouts must report identical store-wide answers"
+    )
+
+    speedup = flat_seconds / sharded_seconds
+    print(f"\nstore-wide ops at {ENTRIES} entries x {REPEAT} rounds "
+          f"(keys + size_bytes + prune):")
+    print(f"  flat layout    : {flat_seconds:.3f}s")
+    print(f"  sharded layout : {sharded_seconds:.3f}s")
+    print(f"  speedup        : {speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded store-wide operations must beat the flat-layout scan "
+        f">={MIN_SPEEDUP}x at {ENTRIES} entries; got {speedup:.2f}x"
+    )

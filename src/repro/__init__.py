@@ -56,7 +56,7 @@ For the low-level path — build a DDG by hand, compile and simulate it —
 see ``examples/quickstart.py`` and :func:`compile_loop`/:func:`simulate`.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.alias import AccessPattern, MemRef
 from repro.arch import (
@@ -68,6 +68,7 @@ from repro.arch import (
 )
 from repro.errors import (
     ConfigError,
+    ExecutionError,
     GraphError,
     ReproError,
     SchedulingError,
@@ -93,6 +94,8 @@ from repro.api import (
     MemoryStore,
     Plan,
     ResultStore,
+    RunError,
+    RunJournal,
     RunRecord,
     RunSpec,
     Runner,
@@ -120,6 +123,7 @@ __all__ = [
     "ConfigError",
     "GraphError",
     "ReproError",
+    "ExecutionError",
     "SchedulingError",
     "SimulationError",
     "TransformError",
@@ -148,6 +152,8 @@ __all__ = [
     "MemoryStore",
     "Plan",
     "ResultStore",
+    "RunError",
+    "RunJournal",
     "RunRecord",
     "RunSpec",
     "Runner",

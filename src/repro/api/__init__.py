@@ -39,13 +39,14 @@ from repro.api.artifacts import (
     set_default_artifact_store,
 )
 from repro.api.core import execute_benchmark, execute_spec
+from repro.api.journal import JournalState, RunJournal, journal_root
 from repro.api.records import (
     LoopRecord,
     RunRecord,
     records_to_csv,
     records_to_json,
 )
-from repro.api.runner import Runner, default_runner, run
+from repro.api.runner import Runner, RunError, default_runner, run
 from repro.api.spec import (
     ALL_VARIANTS,
     DDGT_MIN,
@@ -87,6 +88,7 @@ __all__ = [
     "FIGURE7_BARS",
     "FREE_MIN",
     "FREE_PREF",
+    "JournalState",
     "LoopRecord",
     "MDC_MIN",
     "MDC_PREF",
@@ -95,6 +97,8 @@ __all__ = [
     "PROFILE_ITERATIONS",
     "Plan",
     "ResultStore",
+    "RunError",
+    "RunJournal",
     "RunRecord",
     "RunSpec",
     "Runner",
@@ -103,6 +107,7 @@ __all__ = [
     "artifact_stats",
     "default_artifact_store",
     "default_runner",
+    "journal_root",
     "default_scale",
     "default_store",
     "execute_benchmark",

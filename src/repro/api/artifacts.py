@@ -16,7 +16,10 @@ Two implementations:
 * :class:`DiskArtifactStore` — one JSON file per artifact under
   ``.repro_cache/artifacts/``, on the hardened
   :class:`~repro.api.store.JsonFileStore` machinery (atomic writes,
-  torn-read retries, version stamping, pruning).
+  torn-read retries, version stamping, pruning, prefix-sharded
+  directories with the lazily maintained index that keeps store-wide
+  operations scan-free; legacy flat layouts stay readable and migrate
+  on write).
 
 Both return callers a *fresh* decode of the stored JSON on every get, so
 a pipeline mutating the graph it built from an artifact can never poison
@@ -164,7 +167,8 @@ class MemoryArtifactStore(ArtifactStore):
 
 class DiskArtifactStore(JsonFileStore, ArtifactStore):
     """One JSON file per artifact under ``root`` (default
-    ``.repro_cache/artifacts/``), version-stamped like the record store.
+    ``.repro_cache/artifacts/``), version-stamped and prefix-sharded
+    like the record store.
 
     Payload text is memoized in-process after the first read, so a sweep
     re-deriving the same stage key pays the disk read once.

@@ -15,7 +15,10 @@ Built on the same :class:`~repro.api.spec.Plan` objects as the library:
 All compute-bearing commands accept ``--parallel N`` (process fan-out)
 and use the on-disk :class:`~repro.api.store.DiskStore` under
 ``.repro_cache/`` by default, so a second invocation is near-instant and
-byte-identical.
+byte-identical.  ``repro run`` and ``repro scenarios sweep`` stream:
+completions print live progress (on a tty), checkpoint into a
+:class:`~repro.api.journal.RunJournal`, and ``--resume`` picks a killed
+run back up without re-executing completed work.
 """
 
 from __future__ import annotations
@@ -32,7 +35,8 @@ from repro.api.artifacts import (
     artifact_root,
     artifact_stats,
 )
-from repro.api.records import records_to_csv, records_to_json
+from repro.api.journal import RunJournal, journal_root
+from repro.api.records import RunRecord, records_to_csv, records_to_json
 from repro.api.runner import Runner
 from repro.api.spec import (
     ALL_VARIANTS,
@@ -85,6 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write full records as JSON")
     p_run.add_argument("--csv", default=None, metavar="FILE",
                        help="write per-loop records as CSV")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue a killed run from its checkpoint "
+                            "journal (requires the on-disk store)")
     add_common(p_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a figure's data")
@@ -137,6 +144,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_scn_sweep = scn_sub.add_parser(
         "sweep", help="run the free/MDC/DDGT differential sweep")
+    p_scn_sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed sweep from its checkpoint journal "
+             "(requires the on-disk store)")
     add_sweep_args(p_scn_sweep)
 
     p_scn_rep = scn_sub.add_parser(
@@ -207,6 +218,54 @@ def _runner(args: argparse.Namespace) -> Runner:
                   artifacts=_artifact_store(args))
 
 
+def _journal(args: argparse.Namespace, plan: Plan) -> Optional[RunJournal]:
+    """The checkpoint journal for a plan — and the resume bookkeeping.
+
+    Without ``--resume`` an existing journal for the same plan is
+    discarded (fresh-run semantics); with it, prior progress is reported
+    and appended to.  Resume needs the on-disk store (that is where
+    completed records live), so ``--no-cache`` refuses it.
+    """
+    if getattr(args, "no_cache", False):
+        if getattr(args, "resume", False):
+            raise ConfigError(
+                "--resume needs the on-disk result store; drop --no-cache"
+            )
+        return None
+    journal = RunJournal.for_plan(plan, getattr(args, "cache_dir", None))
+    if getattr(args, "resume", False):
+        state = journal.load()
+        if state.plan_hash == plan.content_hash and (state.done
+                                                     or state.errors):
+            print(
+                f"resuming plan {plan.content_hash}: "
+                f"{len(state.done)}/{len(plan)} specs already completed, "
+                f"{len(state.errors)} recorded failures will be retried",
+                file=sys.stderr,
+            )
+    else:
+        journal.discard()
+    return journal
+
+
+def _progress_printer():
+    """Live one-line progress on stderr; ``None`` off a tty (so piped
+    and captured output stays byte-identical)."""
+    if not sys.stderr.isatty():  # pragma: no cover - tty-only cosmetics
+        return None
+
+    def emit(done: int, total: int, item) -> None:  # pragma: no cover
+        label = ""
+        if isinstance(item, RunRecord):
+            label = f"  {item.benchmark} {item.variant}"
+        sys.stderr.write(f"\r[{done}/{total}]{label}\x1b[K")
+        if done >= total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    return emit
+
+
 def _emit(text: str, out: Optional[str]) -> None:
     print(text)
     if out:
@@ -227,7 +286,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         loops=args.loop,
     )
-    records = _runner(args).run(plan)
+    journal = _journal(args, plan)
+    with _runner(args) as runner:
+        records = runner.run(plan, journal=journal,
+                             progress=_progress_printer())
     rows = []
     for record in records:
         stats = record.merged_stats()
@@ -260,9 +322,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figure9 import run_figure9
 
     drivers = {6: run_figure6, 7: run_figure7, 9: run_figure9}
-    result = drivers[args.number](
-        benchmarks=args.benchmarks, scale=args.scale, runner=_runner(args),
-    )
+    with _runner(args) as runner:
+        result = drivers[args.number](
+            benchmarks=args.benchmarks, scale=args.scale, runner=runner,
+            progress=_progress_printer(),
+        )
     _emit(result.render(), args.out)
     return 0
 
@@ -272,10 +336,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.table5 import run_table5
 
     if args.number == 4:
-        result = run_table4(
-            benchmarks=args.benchmarks, scale=args.scale,
-            runner=_runner(args),
-        )
+        with _runner(args) as runner:
+            result = run_table4(
+                benchmarks=args.benchmarks, scale=args.scale,
+                runner=runner, progress=_progress_printer(),
+            )
     else:
         # Table 5 is a static DDG analysis: no simulation, no cache.
         result = run_table5(benchmarks=args.benchmarks)
@@ -325,12 +390,17 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     machines = _scenario_machines(args)
 
     if args.action == "sweep":
-        result = run_sweep(
-            names,
-            machines=machines,
-            scale=args.scale,
-            runner=_runner(args),
-        )
+        plan = sweep_plan(names, machines, scale=args.scale)
+        journal = _journal(args, plan)
+        with _runner(args) as runner:
+            result = run_sweep(
+                names,
+                machines=machines,
+                scale=args.scale,
+                runner=runner,
+                journal=journal,
+                progress=_progress_printer(),
+            )
         _emit(result.render(), args.out)
         if args.csv:
             with open(args.csv, "w") as handle:
@@ -382,14 +452,42 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _prune_journals(journals_dir, older_than_seconds: float) -> int:
+    """Drop journals idle for longer than the cutoff (one file per plan
+    hash accumulates forever otherwise)."""
+    import time as _time
+
+    cutoff = _time.time() - older_than_seconds
+    count = 0
+    if journals_dir.is_dir():
+        for path in journals_dir.glob("*.jsonl"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    count += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+    return count
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = DiskStore(args.cache_dir)
     artifacts = DiskArtifactStore(artifact_root(args.cache_dir))
+    journals_dir = journal_root(args.cache_dir)
     if args.action == "clear":
         records = store.clear()
         dropped = artifacts.clear()
+        journals = 0
+        if journals_dir.is_dir():
+            for path in journals_dir.glob("*.jsonl"):
+                try:
+                    path.unlink()
+                    journals += 1
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
         print(f"removed {records} cached records from {store.root}/")
         print(f"removed {dropped} artifacts from {artifacts.root}/")
+        print(f"removed {journals} run journals from {journals_dir}/")
     elif args.action == "artifacts":
         stats = artifact_stats()
         print(f"artifact dir : {artifacts.root}/")
@@ -413,13 +511,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         age = parse_age(args.older_than)
         records = store.prune(age)
         dropped = artifacts.prune(age)
+        journals = _prune_journals(journals_dir, age)
         print(f"pruned {records} records from {store.root}/")
         print(f"pruned {dropped} artifacts from {artifacts.root}/")
+        print(f"pruned {journals} run journals from {journals_dir}/")
     else:
+        journals = (len(list(journals_dir.glob("*.jsonl")))
+                    if journals_dir.is_dir() else 0)
         print(f"cache dir : {store.root}/")
         print(f"records   : {len(store)}")
         print(f"artifacts : {len(artifacts)} "
               f"({artifacts.size_bytes()} bytes under {artifacts.root}/)")
+        print(f"journals  : {journals}")
         print(f"size      : {store.size_bytes()} bytes")
         print(f"version   : {store.version}")
     return 0

@@ -56,6 +56,46 @@ def _warn_iteration_floor(benchmark: str, loop: str, natural: int) -> None:
     )
 
 
+def suppress_floor_warning() -> None:
+    """Mark the one-time floor warning as already emitted.
+
+    The warning gate is per-process, so without this every pool worker
+    of a parallel sweep would re-emit it.  The
+    :class:`~repro.api.runner.Runner` installs this as the pool worker
+    initializer and surfaces a single parent-side warning instead (see
+    :func:`warn_floor_from_record`).
+    """
+    global _floor_warning_emitted
+    _floor_warning_emitted = True
+
+
+def warn_floor_from_record(record: RunRecord) -> None:
+    """Parent-side one-time floor warning, derived from a record.
+
+    Pool workers run with the in-worker warning suppressed; when their
+    records come back, the first one carrying a non-zero
+    :attr:`LoopRecord.iteration_floor` triggers this single warning in
+    the parent process (same gate as the in-process warning, so serial
+    and parallel execution never double-report).
+    """
+    global _floor_warning_emitted
+    if _floor_warning_emitted:
+        return
+    for loop in record.loops:
+        if loop.iteration_floor:
+            _floor_warning_emitted = True
+            warnings.warn(
+                f"kernel-iteration floor: {record.benchmark}:{loop.loop} "
+                f"inflated to {loop.kernel_iterations} kernel iterations "
+                f"in a worker process (recorded in "
+                f"LoopRecord.iteration_floor; further floored runs will "
+                f"not be reported)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+
+
 def execute_spec(spec: RunSpec,
                  artifacts: Optional[ArtifactStore] = None) -> RunRecord:
     """Compile + simulate the work a spec declares (no result caching).

@@ -1,0 +1,223 @@
+"""Checkpoint journals for streaming plan execution.
+
+A :class:`RunJournal` is an append-only JSONL file recording, for one
+:class:`~repro.api.spec.Plan`, which specs have completed and which
+failed.  The :class:`~repro.api.runner.Runner` appends one line per
+event as its stream progresses, flushing each line (and fsyncing error
+events), so a run killed at any point leaves a consistent prefix on
+disk.  On
+``repro run --resume`` / ``repro scenarios sweep --resume`` the journal
+tells the runner (and the user) how much of the plan already finished —
+completed records themselves are fetched from the
+:class:`~repro.api.store.DiskStore`, which is why resume requires the
+on-disk result store — and which specs failed so they can be retried
+with full context.
+
+File format (one JSON object per line)::
+
+    {"event": "plan", "plan": <plan hash>, "specs": N, "version": ...}
+    {"event": "done", "key": <spec content hash>}
+    {"event": "error", "key": <spec content hash>, "error": {...}}
+
+A journal is keyed by its plan's content hash
+(``<cache root>/journal/<plan hash>.jsonl``), so resuming with modified
+arguments — a different grid, scale or machine list — starts a fresh
+journal instead of silently mixing two runs.  A journal written by a
+different package version is discarded (results it points at would be
+version-stale in the store anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.api.spec import Plan
+from repro.api.store import resolve_cache_root
+
+#: Subdirectory of the cache root that holds run journals.
+JOURNAL_SUBDIR = "journal"
+
+
+def journal_root(cache_root: Union[str, Path, None] = None) -> Path:
+    """The journal directory for a cache root (default: the process
+    cache root, i.e. ``.repro_cache/journal/``)."""
+    return resolve_cache_root(cache_root) / JOURNAL_SUBDIR
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass
+class JournalState:
+    """What a journal recorded before the current session."""
+
+    plan_hash: str = ""
+    total: int = 0
+    done: Set[str] = field(default_factory=set)
+    #: spec key -> structured error dict (last failure wins; cleared
+    #: when a later attempt of the same key succeeds).
+    errors: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.done)
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint journal for one plan."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._noted: Set[str] = set()
+        self._state = JournalState()
+
+    @classmethod
+    def for_plan(cls, plan: Plan,
+                 cache_root: Union[str, Path, None] = None) -> "RunJournal":
+        """The canonical journal for ``plan`` under a cache root."""
+        return cls(journal_root(cache_root) / f"{plan.content_hash}.jsonl")
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> JournalState:
+        return self._state
+
+    def load(self) -> JournalState:
+        """Parse the journal from disk (tolerating a torn final line)."""
+        state = JournalState()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return state
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a kill mid-append
+            if not isinstance(entry, dict):
+                continue
+            event = entry.get("event")
+            if event == "plan":
+                if entry.get("version") != _package_version():
+                    return JournalState()  # stale journal: start over
+                state.plan_hash = str(entry.get("plan") or "")
+                try:
+                    state.total = int(entry.get("specs") or 0)
+                except (TypeError, ValueError):
+                    state.total = 0
+            elif event == "done":
+                key = entry.get("key")
+                if key:
+                    state.done.add(key)
+                    state.errors.pop(key, None)
+            elif event == "error":
+                key = entry.get("key")
+                if key and key not in state.done:
+                    error = entry.get("error")
+                    state.errors[key] = error if isinstance(error, dict) \
+                        else {}
+        return state
+
+    def begin(self, plan: Plan) -> JournalState:
+        """Open the journal for ``plan`` and return prior progress.
+
+        A journal written for a different plan (or package version) is
+        discarded and restarted; an existing journal for the same plan is
+        appended to — that is the resume path.
+        """
+        previous = self.load()
+        if previous.plan_hash != plan.content_hash:
+            previous = JournalState()
+            self.discard()
+            self._append({
+                "event": "plan",
+                "plan": plan.content_hash,
+                "specs": len(plan.specs),
+                "version": _package_version(),
+            })
+        previous.plan_hash = plan.content_hash
+        previous.total = len(plan.specs)
+        self._noted = set(previous.done)
+        self._state = previous
+        return previous
+
+    # ------------------------------------------------------------------
+    def note_done(self, key: str) -> None:
+        """Record one spec's completion (idempotent per key)."""
+        if key in self._noted:
+            return
+        self._noted.add(key)
+        self._state.done.add(key)
+        self._state.errors.pop(key, None)
+        self._append({"event": "done", "key": key})
+
+    def note_error(self, key: str, error) -> None:
+        """Record one spec's failure (``error``: a dict or anything with
+        ``to_dict()``, e.g. :class:`~repro.api.runner.RunError`)."""
+        payload = error.to_dict() if hasattr(error, "to_dict") \
+            else dict(error)
+        self._state.errors[key] = payload
+        self._append({"event": "error", "key": key, "error": payload},
+                     sync=True)
+
+    def _append(self, entry: dict, sync: bool = False) -> None:
+        """Write one event line.
+
+        Every line is flushed, which makes it durable across a *process*
+        kill — the resume threat model — at microsecond cost, so a
+        fully-warm rerun journalling thousands of store hits stays
+        cheap.  ``sync=True`` (error events, :meth:`close`) additionally
+        fsyncs for power-loss durability: failures are rare and worth
+        the disk round trip.
+        """
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def discard(self) -> None:
+        """Delete the journal file (fresh-run semantics)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        self._noted = set()
+        self._state = JournalState()
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.flush()
+                os.fsync(handle.fileno())
+                handle.close()
+            except (OSError, ValueError):  # pragma: no cover - closed
+                pass
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -144,15 +144,16 @@ def fetch_records(
     scale: Optional[float],
     attraction: bool,
     runner: Runner,
+    progress=None,
 ) -> Dict[Tuple[str, str], RunRecord]:
     """``(benchmark, variant key) -> RunRecord`` for one driver grid.
 
-    Named registry configs go through the runner as a :class:`Plan`
-    (cached by spec hash, optionally parallel); an ad-hoc
-    :class:`MachineConfig` falls back to :func:`run_benchmark`, which
-    keys the runner's store by the effective-machine fingerprint — so
-    custom configs are honored instead of silently replaced by their
-    namesake.
+    Named registry configs go through the runner as a :class:`Plan` —
+    streamed, so a ``progress`` callback (``(done, total, record)``) sees
+    every completion live; an ad-hoc :class:`MachineConfig` falls back to
+    :func:`run_benchmark`, which keys the runner's store by the
+    effective-machine fingerprint — so custom configs are honored
+    instead of silently replaced by their namesake.
     """
     variants = tuple(variants)
     if is_registered(config):
@@ -163,7 +164,8 @@ def fetch_records(
             attraction=attraction,
             scale=scale,
         )
-        return {(r.benchmark, r.variant): r for r in runner.run(plan)}
+        records = runner.run(plan, progress=progress)
+        return {(r.benchmark, r.variant): r for r in records}
     return {
         (name, variant.key): run_benchmark(
             name, variant, config=config, attraction=attraction,

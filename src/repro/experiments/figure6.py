@@ -65,10 +65,12 @@ def run_figure6(
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
     runner: Optional[Runner] = None,
+    progress=None,
 ) -> Figure6Result:
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
     runner = runner if runner is not None else default_runner()
-    records = fetch_records(names, BARS, config, scale, False, runner)
+    records = fetch_records(names, BARS, config, scale, False, runner,
+                            progress=progress)
     result = Figure6Result()
     for name in names:
         result.fractions[name] = {}

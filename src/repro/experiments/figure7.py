@@ -83,12 +83,14 @@ def run_figure7(
     attraction: bool = False,
     bars: Tuple[Variant, ...] = FIGURE7_BARS,
     runner: Optional[Runner] = None,
+    progress=None,
 ) -> Figure7Result:
     """Also reused by Figure 9 (same bars, Attraction Buffers enabled)."""
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
     runner = runner if runner is not None else default_runner()
     records = fetch_records(
         names, (FREE_MIN,) + tuple(bars), config, scale, attraction, runner,
+        progress=progress,
     )
 
     result = Figure7Result(variant_keys=tuple(v.key for v in bars))

@@ -43,17 +43,19 @@ def run_figure9(
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
     runner: Optional[Runner] = None,
+    progress=None,
 ) -> Figure9Result:
     runner = runner if runner is not None else default_runner()
     figure = run_figure7(
         benchmarks=benchmarks, config=config, scale=scale, attraction=True,
-        runner=runner,
+        runner=runner, progress=progress,
     )
     result = Figure9Result(figure=figure)
     names = benchmarks if benchmarks is not None else EVALUATED
     if "epicdec" in names:
         records = fetch_records(
             ["epicdec"], (MDC_PREF, DDGT_PREF), config, scale, True, runner,
+            progress=progress,
         )
         for variant, bar in ((MDC_PREF, "MDC"), (DDGT_PREF, "DDGT")):
             run = records[("epicdec", variant.key)]

@@ -58,11 +58,13 @@ def run_table4(
     config: MachineConfig = BASELINE_CONFIG,
     scale: Optional[float] = None,
     runner: Optional[Runner] = None,
+    progress=None,
 ) -> Table4Result:
     names = list(benchmarks) if benchmarks is not None else list(EVALUATED)
     runner = runner if runner is not None else default_runner()
     records = fetch_records(
         names, (FREE_PREF, MDC_PREF, DDGT_PREF), config, scale, False, runner,
+        progress=progress,
     )
     result = Table4Result()
     for name in names:

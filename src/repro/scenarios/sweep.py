@@ -257,11 +257,19 @@ def run_sweep(
     variants: Sequence[str] = DIFFERENTIAL_VARIANTS,
     scale: Optional[float] = None,
     runner: Optional[Runner] = None,
+    journal=None,
+    progress=None,
 ) -> SweepResult:
     """Sample (or take) scenarios, run the differential grid, cross-check.
 
     With an explicit ``scenarios`` list the sampler is bypassed; otherwise
     ``count`` scenarios are drawn from ``seed`` over ``families``.
+
+    The grid executes through the runner's streaming core: ``progress``
+    (``(done, total, record)``) fires as each run completes, and a
+    ``journal`` (:class:`~repro.api.journal.RunJournal`) checkpoints the
+    sweep so a killed run resumes — against the on-disk store — without
+    re-executing completed groups.
     """
     if scenarios is None:
         scenarios = [
@@ -270,7 +278,9 @@ def run_sweep(
     if not scenarios:
         raise WorkloadError("differential sweep needs at least one scenario")
     plan = sweep_plan(scenarios, machines, variants, scale)
-    records = (runner or default_runner()).run(plan)
+    records = (runner or default_runner()).run(
+        plan, journal=journal, progress=progress
+    )
     result = summarize(records)
     result.plan = plan
     result.scenarios = list(scenarios)

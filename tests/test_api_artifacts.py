@@ -63,20 +63,22 @@ class TestDiskArtifactStore:
     def test_envelope_is_version_stamped(self, tmp_path):
         import repro
 
-        DiskArtifactStore(tmp_path).put("k", PAYLOAD)
-        envelope = json.loads((tmp_path / "k.json").read_text())
+        store = DiskArtifactStore(tmp_path)
+        store.put("k", PAYLOAD)
+        envelope = json.loads(store.entry_path("k").read_text())
         assert envelope["version"] == repro.__version__
         assert envelope["artifact"] == PAYLOAD
 
     def test_version_bump_invalidates(self, tmp_path):
-        DiskArtifactStore(tmp_path, version="1.0.0").put("k", PAYLOAD)
+        old = DiskArtifactStore(tmp_path, version="1.0.0")
+        old.put("k", PAYLOAD)
         assert DiskArtifactStore(tmp_path, version="2.0.0").get("k") is None
-        assert not (tmp_path / "k.json").exists()
+        assert not old.entry_path("k").exists()
 
     def test_memoized_reread(self, tmp_path):
         store = DiskArtifactStore(tmp_path)
         store.put("k", PAYLOAD)
-        (tmp_path / "k.json").unlink()
+        store.entry_path("k").unlink()
         # The in-process memo still serves (and returns a fresh copy).
         first = store.get("k")
         first["factor"] = -1
@@ -87,7 +89,7 @@ class TestDiskArtifactStore:
         store.put("old", PAYLOAD)
         store.put("new", PAYLOAD)
         stale = time.time() - 3600
-        os.utime(tmp_path / "old.json", (stale, stale))
+        os.utime(store.entry_path("old"), (stale, stale))
         assert store.prune(older_than_seconds=60) == 1
         assert sorted(store.keys()) == ["new"]
         # The in-process memo must not resurrect the pruned entry.

@@ -58,6 +58,15 @@ class TestRunCommand:
         assert rc == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_unknown_machine_config_is_a_clean_error(self, tmp_path,
+                                                     capsys):
+        rc = main(["run", "gsmdec", "--machine", "doesnotexist",
+                   "--scale", "0.1", "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
 
 class TestCacheCommand:
     def test_info_and_clear(self, tmp_path, capsys):
@@ -77,12 +86,12 @@ class TestCacheCommand:
                 "--cache-dir", str(cache)]
         main(args)
         first = capsys.readouterr().out
-        mtimes = {p: p.stat().st_mtime_ns for p in cache.glob("*.json")}
+        mtimes = {p: p.stat().st_mtime_ns for p in cache.rglob("*.json")}
         main(args)
         second = capsys.readouterr().out
         assert first == second, "cached rerun must be byte-identical"
         assert mtimes == {
-            p: p.stat().st_mtime_ns for p in cache.glob("*.json")
+            p: p.stat().st_mtime_ns for p in cache.rglob("*.json")
         }, "cached rerun must not rewrite entries"
 
 
@@ -97,6 +106,7 @@ class TestCacheArtifactVerbs:
                                                     capsys):
         cache = self._warm(tmp_path)
         assert (cache / "artifacts").is_dir()
+        assert list((cache / "artifacts").rglob("*.json"))
         capsys.readouterr()
         assert main(["cache", "artifacts", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
@@ -123,14 +133,15 @@ class TestCacheArtifactVerbs:
 
     def test_clear_clears_both_stores(self, tmp_path, capsys):
         cache = self._warm(tmp_path)
-        assert list((cache / "artifacts").glob("*.json"))
+        assert list((cache / "artifacts").rglob("*.json"))
         capsys.readouterr()
         assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "removed 1 cached records" in out
         assert "artifacts" in out
-        assert not list(cache.glob("*.json"))
-        assert not list((cache / "artifacts").glob("*.json"))
+        assert not [p for p in cache.rglob("*.json")
+                    if "artifacts" not in p.parts]
+        assert not list((cache / "artifacts").rglob("*.json"))
 
     def test_prune_requires_and_parses_age(self, tmp_path, capsys):
         import os
@@ -152,16 +163,57 @@ class TestCacheArtifactVerbs:
         assert rc == 2, "prune without --older-than is a clean error"
         capsys.readouterr()
 
+        capsys.readouterr()
+        rc = main(["cache", "prune", "--older-than", "soonish",
+                   "--cache-dir", str(cache)])
+        assert rc == 2, "malformed --older-than is a clean error"
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
         stale = time.time() - 3 * 86400
-        for path in cache.glob("*.json"):
+        record_entries = [p for p in cache.rglob("*.json")
+                          if "artifacts" not in p.parts]
+        assert record_entries
+        for path in record_entries:
             os.utime(path, (stale, stale))
         assert main(["cache", "prune", "--older-than", "1d",
                      "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "pruned 1 records" in out
-        assert not list(cache.glob("*.json"))
-        # Artifact files were fresh, so they all survive.
-        assert list((cache / "artifacts").glob("*.json"))
+        assert "pruned 0 run journals" in out
+        assert not [p for p in cache.rglob("*.json")
+                    if "artifacts" not in p.parts]
+        # Artifact and journal files were fresh, so they all survive.
+        assert list((cache / "artifacts").rglob("*.json"))
+        assert list((cache / "journal").glob("*.jsonl"))
+
+        # Aged journals are pruned like everything else.
+        for path in (cache / "journal").glob("*.jsonl"):
+            os.utime(path, (stale, stale))
+        assert main(["cache", "prune", "--older-than", "1d",
+                     "--cache-dir", str(cache)]) == 0
+        assert "pruned 1 run journals" in capsys.readouterr().out
+        assert not list((cache / "journal").glob("*.jsonl"))
+
+
+class TestScenarioErrorPaths:
+    def test_report_on_an_empty_store_is_clean_and_nonzero(self, tmp_path,
+                                                           capsys):
+        rc = main(["scenarios", "report", "--seed", "1", "--count", "2",
+                   "--cache-dir", str(tmp_path / "empty")])
+        assert rc == 1, "an absent sweep is not a passed check"
+        out = capsys.readouterr().out
+        assert "DIFFERENTIAL CHECK INCOMPLETE" in out
+        assert "repro scenarios sweep" in out
+
+    def test_bad_machine_name_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["scenarios", "sweep", "--count", "1",
+                   "--machine", "gen-bogus", "--scale", "0.1",
+                   "--cache-dir", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
 
 class TestFigureCommand:

@@ -183,7 +183,7 @@ class TestFrontendGrouping:
         runner.run(Plan(PLAN.specs[:2]))
         versions = {
             json.loads(path.read_text())["version"]
-            for path in root.glob("*.json")
+            for path in root.rglob("*.json")
         }
         assert versions == {"pinned"}, (
             "workers must write the parent store's version, or the two "

@@ -70,7 +70,7 @@ class TestDiskStore:
         store = DiskStore(tmp_path)
         assert store.version == repro.__version__
         store.put("key1", make_record())
-        payload = json.loads((tmp_path / "key1.json").read_text())
+        payload = json.loads(store.entry_path("key1").read_text())
         assert payload["version"] == repro.__version__
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
@@ -111,7 +111,7 @@ class TestDiskStore:
         store.put("new", make_record(cycles=2))
         assert store.get("old") is not None  # memoized
         stale = time.time() - 3600
-        os.utime(tmp_path / "old.json", (stale, stale))
+        os.utime(store.entry_path("old"), (stale, stale))
         assert store.prune(older_than_seconds=60) == 1
         assert store.get("old") is None, "pruned entry must not be served"
         assert store.get("new") is not None
@@ -131,8 +131,9 @@ class TestDiskStoreConcurrencyHardening:
         record = make_record(cycles=55)
         writer = DiskStore(tmp_path)
         writer.put("key1", record)
-        good = (tmp_path / "key1.json").read_text()
-        (tmp_path / "key1.json").write_text(good[: len(good) // 2])
+        entry = writer.entry_path("key1")
+        good = entry.read_text()
+        entry.write_text(good[: len(good) // 2])
 
         reader = DiskStore(tmp_path)
         attempts = []
@@ -141,7 +142,7 @@ class TestDiskStoreConcurrencyHardening:
         def heal_then_read(self, path):
             def patched_sleep(_seconds):
                 # The "writer" finishes its atomic rename mid-retry.
-                (tmp_path / "key1.json").write_text(good)
+                entry.write_text(good)
 
             monkeypatch.setattr("repro.api.store.time.sleep", patched_sleep)
             attempts.append(path)
@@ -151,7 +152,7 @@ class TestDiskStoreConcurrencyHardening:
         fetched = reader.get("key1")
         assert fetched is not None
         assert fetched.loops[0].compute_cycles == 55
-        assert (tmp_path / "key1.json").exists()
+        assert entry.exists()
 
     def test_persistently_corrupt_entry_is_dropped(self, tmp_path,
                                                    monkeypatch):
