@@ -17,7 +17,7 @@ A *trace* is any object exposing::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Protocol, Tuple
 
 from repro.arch.config import MachineConfig
 from repro.errors import WorkloadError

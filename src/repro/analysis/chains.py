@@ -14,7 +14,7 @@ scale together), so they are computed on the un-unrolled kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.alias.disambiguation import add_memory_dependences
 from repro.ir.ddg import Ddg

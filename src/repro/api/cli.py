@@ -10,6 +10,9 @@ Built on the same :class:`~repro.api.spec.Plan` objects as the library:
 * ``repro scenarios {generate,sweep,report}`` — seeded synthetic
   workloads and the free/MDC/DDGT differential sweep harness
   (:mod:`repro.scenarios`);
+* ``repro check {protocol,conformance,schedule}`` — the exhaustive
+  coherence-protocol model checker, the simulator/model conformance
+  bridge, and the static schedule verifier (:mod:`repro.check`);
 * ``repro cache {info,clear}`` — manage the on-disk result store.
 
 All compute-bearing commands accept ``--parallel N`` (process fan-out)
@@ -153,6 +156,65 @@ def _build_parser() -> argparse.ArgumentParser:
     p_scn_rep = scn_sub.add_parser(
         "report", help="re-aggregate a sweep from the warm store only")
     add_sweep_args(p_scn_rep)
+
+    p_check = sub.add_parser(
+        "check",
+        help="protocol model checker, conformance bridge and static "
+             "schedule verifier (repro.check)",
+    )
+    check_sub = p_check.add_subparsers(dest="action", required=True)
+
+    def add_model_config(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--clusters", type=int, default=2, metavar="N",
+                       help="model clusters (default: 2)")
+        p.add_argument("--subblocks", type=int, default=2, metavar="K",
+                       help="model subblocks (default: 2)")
+        p.add_argument("--ops", type=int, default=3, metavar="L",
+                       help="ops per model program (default: 3)")
+
+    p_chk_proto = check_sub.add_parser(
+        "protocol",
+        help="exhaustively model-check the coherence protocol")
+    add_model_config(p_chk_proto)
+    p_chk_proto.add_argument(
+        "--mutation", default=None, metavar="NAME",
+        help="seed a protocol bug (see repro.check.mutations); the run "
+             "is then expected to find a counterexample")
+    p_chk_proto.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="stop after N reachable states across all programs "
+             "(CI smoke budget; default: unlimited)")
+    p_chk_proto.add_argument(
+        "--disciplined-only", action="store_true",
+        help="only explore programs the coherence solutions produce")
+    p_chk_proto.add_argument("--out", default=None, metavar="FILE")
+
+    p_chk_conf = check_sub.add_parser(
+        "conformance",
+        help="drive the simulator through the model transition by "
+             "transition and assert agreement")
+    p_chk_conf.add_argument("--clusters", type=int, default=2, metavar="N",
+                            help="clusters (default: 2)")
+    p_chk_conf.add_argument("--subblocks", type=int, default=2, metavar="K",
+                            help="subblocks (default: 2)")
+    p_chk_conf.add_argument("--out", default=None, metavar="FILE")
+
+    p_chk_sched = check_sub.add_parser(
+        "schedule",
+        help="statically verify compiled schedules "
+             "(resource/latency/copies/memory-order rules)")
+    p_chk_sched.add_argument(
+        "benchmarks", nargs="*", metavar="BENCH",
+        help="benchmark names (default: the full catalog)")
+    p_chk_sched.add_argument(
+        "-v", "--variant", action="append", dest="variants", metavar="C/H",
+        help="coherence/heuristic key, e.g. mdc/prefclus "
+             "(repeatable; default: all six)")
+    p_chk_sched.add_argument("--machine", default="baseline",
+                             help="named machine config (default: baseline)")
+    p_chk_sched.add_argument("--loop", default=None,
+                             help="restrict to one loop of each benchmark")
+    p_chk_sched.add_argument("--out", default=None, metavar="FILE")
 
     sub.add_parser("list", help="list benchmarks, variants and configs")
 
@@ -428,6 +490,86 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0 if result.ok and not missing else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.action == "protocol":
+        from repro.check import check_protocol
+
+        report = check_protocol(
+            num_clusters=args.clusters,
+            num_subblocks=args.subblocks,
+            op_count=args.ops,
+            mutation=args.mutation,
+            max_states=args.max_states,
+            disciplined_only=args.disciplined_only,
+        )
+        text = report.summary()
+        for counterexample in report.counterexamples:
+            text += "\n\n" + counterexample.format()
+        _emit(text, args.out)
+        if args.mutation is not None:
+            # A seeded bug the checker does NOT catch is the failure.
+            return 0 if report.counterexamples else 1
+        return 0 if report.ok else 1
+
+    if args.action == "conformance":
+        from repro.check.conformance import run_conformance
+
+        report = run_conformance(
+            num_clusters=args.clusters, num_subblocks=args.subblocks
+        )
+        _emit(report.summary(), args.out)
+        return 0 if report.ok else 1
+
+    # schedule: compile the requested cross and lint every result.
+    from repro.api.core import PROFILE_ITERATIONS
+    from repro.api.spec import parse_variant
+    from repro.arch.config import named_config
+    from repro.check import lint_compilation
+    from repro.sched.pipeline import compile_loop
+    from repro.workloads.catalog import BENCHMARKS, get_benchmark
+    from repro.workloads.traces import cached_trace_spec
+
+    base = named_config(args.machine)
+    variants = [parse_variant(v) for v in (args.variants or ALL_VARIANTS)]
+    lines: List[str] = []
+    findings_total = 0
+    for name in (args.benchmarks or list(BENCHMARKS)):
+        bench = get_benchmark(name)
+        machine = bench.machine(base)
+        profile = cached_trace_spec(PROFILE_ITERATIONS,
+                                    seed=bench.profile_seed)
+        loops = bench.loops
+        if args.loop is not None:
+            loops = tuple(s for s in loops if s.name == args.loop)
+        for spec in loops:
+            for variant in variants:
+                compiled = compile_loop(
+                    spec.ddg, machine,
+                    coherence=variant.coherence,
+                    heuristic=variant.heuristic,
+                    trace_factory=profile,
+                    unroll_factor=spec.unroll,
+                )
+                findings = lint_compilation(compiled)
+                findings_total += len(findings)
+                verdict = (
+                    "clean" if not findings
+                    else f"{len(findings)} finding(s)"
+                )
+                lines.append(
+                    f"{name:12s} {spec.name:20s} {variant.key:16s} "
+                    f"ii={compiled.ii:3d} {verdict}"
+                )
+                lines.extend(f"    {finding}" for finding in findings)
+    lines.append(
+        "verdict: "
+        + ("all schedules verified" if not findings_total
+           else f"{findings_total} finding(s)")
+    )
+    _emit("\n".join(lines), args.out)
+    return 0 if not findings_total else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.arch.config import _NAMED
     from repro.workloads.catalog import BENCHMARKS
@@ -533,6 +675,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "table": _cmd_table,
     "scenarios": _cmd_scenarios,
+    "check": _cmd_check,
     "list": _cmd_list,
     "cache": _cmd_cache,
 }

@@ -33,7 +33,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Set, Union
+from typing import Dict, Set, Union
 
 from repro.api.spec import Plan
 from repro.api.store import resolve_cache_root

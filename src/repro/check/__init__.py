@@ -1,0 +1,42 @@
+"""Static checking: protocol model checking and schedule linting.
+
+``repro.check`` is the correctness backbone of the memory system: instead
+of *sampling* behaviours the way the simulator-based tests do, it
+
+* models the coherence protocol as a **guarded-action transition system**
+  (:mod:`repro.check.model`) small enough to enumerate exhaustively,
+* **BFS-explores** every reachable state of small configurations and
+  checks safety/progress invariants, producing minimal counterexample
+  traces on violation (:mod:`repro.check.explorer`,
+  :mod:`repro.check.invariants`),
+* keeps the model honest with a **conformance bridge** that drives the
+  live :class:`~repro.sim.memory.MemorySystem` and replays its event
+  trace through the model transition by transition
+  (:mod:`repro.check.conformance`), and
+* post-validates compiler output without simulation via the **static
+  schedule verifier** (:mod:`repro.check.schedule_lint`).
+
+Seeded protocol mutations (including a re-injection of the stale-read
+bug fixed in an early revision) live in :mod:`repro.check.mutations` and
+prove the checker can actually find the class of bug it exists for.
+
+See ``docs/checking.md`` for the model, the invariants and how to read a
+counterexample trace.
+"""
+
+from repro.check.explorer import CheckReport, Counterexample, check_protocol
+from repro.check.model import ModelOp, ProtocolModel, enumerate_programs
+from repro.check.mutations import MUTATIONS
+from repro.check.schedule_lint import LintFinding, lint_compilation
+
+__all__ = [
+    "CheckReport",
+    "Counterexample",
+    "LintFinding",
+    "MUTATIONS",
+    "ModelOp",
+    "ProtocolModel",
+    "check_protocol",
+    "enumerate_programs",
+    "lint_compilation",
+]

@@ -1,0 +1,464 @@
+"""Conformance bridge: the simulator vs. the protocol model, step by step.
+
+The model checker (:mod:`repro.check.explorer`) proves properties of the
+*model*; this module pins the model to the *simulator* so those proofs
+transfer.  It drives a real :class:`~repro.sim.memory.MemorySystem`
+through small programs, captures the structured trace events the memory
+system emits, maps every event onto one model transition, and replays
+that transition sequence through :class:`~repro.check.model.ProtocolModel`
+— asserting at every step that
+
+* the transition the simulator took is *enabled* in the model (the
+  simulator never does anything the model cannot);
+* the message/action the simulator consumed is exactly the one at the
+  model's corresponding FIFO head (per-source in-order delivery holds);
+* observation and store-application payloads agree version for version;
+* the drained final states agree — subblock versions, residency, and
+  completion of every access.
+
+A battery of programs and issue schedules (:func:`run_conformance`)
+covers every core transition of the model; the run fails loudly if any
+transition was never exercised, so the correspondence cannot silently
+rot as either side evolves.
+
+Version encoding: the simulator stamps stores with ``(iteration, seq)``
+pairs; the driver runs a single iteration and stamps store ``op_i`` with
+``(0, i + 1)``, so simulator version ``(0, v)`` is model version ``v``
+and ``None`` (initial contents) is model version ``0``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.errors import CheckError
+from repro.check.model import (
+    ABSENT,
+    COMPLETE,
+    CORE_TRANSITIONS,
+    ModelOp,
+    ProtocolModel,
+    State,
+    Transition,
+    enumerate_programs,
+)
+from repro.sim.memory import MemorySystem
+from repro.sim.stats import SimStats
+
+#: simulator trace kinds that open a new model transition (everything
+#: else — observe/apply/fill-time send_response — is that transition's
+#: payload).
+_DRIVER_KINDS = frozenset(
+    {"local", "remote_issue", "home_request", "deliver_response", "fill"}
+)
+
+_LOCAL_NAMES = {
+    "hit": "issue_local_hit",
+    "miss": "issue_local_miss",
+    "combine": "issue_local_combine",
+}
+_REQUEST_NAMES = {
+    "hit": "deliver_request_hit",
+    "miss": "deliver_request_miss",
+    "combine": "deliver_request_combine",
+}
+
+
+def conformance_machine(num_clusters: int = 2) -> MachineConfig:
+    """The machine the bridge drives: baseline geometry, ``num_clusters``
+    clusters.  The cache (32-set modules) never evicts for the handful of
+    blocks a model program touches, matching the model's no-eviction
+    abstraction."""
+    machine = MachineConfig(
+        name=f"conformance-{num_clusters}c", num_clusters=num_clusters
+    )
+    if (machine.cache.block_bytes // machine.interleave_bytes) % num_clusters:
+        raise CheckError(
+            "conformance address scheme needs a whole number of interleave "
+            "rounds per block"
+        )
+    return machine
+
+
+def subblock_address(machine: MachineConfig, sb: int) -> int:
+    """The one address the driver uses for model subblock ``sb``: inside
+    block ``sb``, at the interleave unit owned by cluster ``sb % N`` — so
+    block id and home cluster reproduce the model's mapping exactly."""
+    return (
+        sb * machine.cache.block_bytes
+        + (sb % machine.num_clusters) * machine.interleave_bytes
+    )
+
+
+def _norm(version: Optional[Tuple[int, int]]) -> int:
+    """Simulator version -> model version (see the module docstring)."""
+    return 0 if version is None else version[1]
+
+
+@dataclass
+class ConformanceReport:
+    """Aggregate result of one :func:`run_conformance` battery."""
+
+    num_clusters: int
+    num_subblocks: int
+    runs: int = 0
+    programs: int = 0
+    transitions: int = 0
+    elapsed_seconds: float = 0.0
+    coverage: Dict[str, int] = field(default_factory=dict)
+
+    def missing_transitions(self) -> List[str]:
+        return [t for t in CORE_TRANSITIONS if not self.coverage.get(t)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_transitions()
+
+    def summary(self) -> str:
+        lines = [
+            f"configuration      : {self.num_clusters} clusters x "
+            f"{self.num_subblocks} subblocks",
+            f"programs driven    : {self.programs} ({self.runs} runs)",
+            f"transitions agreed : {self.transitions}",
+            "transition coverage:",
+        ]
+        for name in CORE_TRANSITIONS:
+            lines.append(f"  {name:24s} {self.coverage.get(name, 0)}")
+        missing = self.missing_transitions()
+        verdict = (
+            "every core transition exercised, no disagreements"
+            if not missing
+            else "NEVER exercised: " + ", ".join(missing)
+        )
+        lines.append(f"elapsed            : {self.elapsed_seconds:.2f}s")
+        lines.append(f"verdict            : {verdict}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+class ConformanceBridge:
+    """Replays one simulator trace through the model."""
+
+    def __init__(self, model: ProtocolModel) -> None:
+        self.model = model
+        self.state: State = model.initial_state()
+        self.coverage: Dict[str, int] = {}
+        self.transitions = 0
+        self.steps: List[str] = []  # replayed transitions, for diagnostics
+
+    # ------------------------------------------------------------------
+    def _fail(self, problem: str) -> None:
+        lines = [
+            f"conformance failure: {problem}",
+            "program : " + "; ".join(op.label for op in self.model.program),
+            "model   : " + self.model.describe_state(self.state),
+            f"replayed: {len(self.steps)} transitions",
+        ]
+        for step in self.steps[-6:]:
+            lines.append(f"  ... {step}")
+        raise CheckError("\n".join(lines))
+
+    def _decode_op(self, kind: str, ref) -> ModelOp:
+        """Map a simulator event's op reference (a load's iid, a store's
+        version stamp) back to the program op."""
+        index = ref if kind == "load" else ref[1] - 1
+        if not 0 <= index < len(self.model.program):
+            self._fail(f"simulator referenced unknown op {ref!r}")
+        op = self.model.program[index]
+        if op.kind != kind:
+            self._fail(f"simulator treated {op.label} as a {kind}")
+        return op
+
+    # ------------------------------------------------------------------
+    def _step(
+        self, name: str, args: Tuple, payload: Sequence[tuple]
+    ) -> None:
+        """Fire one model transition and compare its events with the
+        simulator payload that accompanied the step."""
+        transition = Transition(name, args)
+        if transition not in self.model.enabled(self.state):
+            self._fail(
+                f"simulator step {name}{args} is not enabled in the model"
+            )
+        self.state, events = self.model.apply(self.state, transition)
+        self.transitions += 1
+        self.coverage[name] = self.coverage.get(name, 0) + 1
+        self.steps.append(f"{name}{args}")
+
+        model_seq = [
+            ("observe", e[1], e[2]) if e[0] == "observe"
+            else ("apply", e[1], e[2], e[4])
+            for e in events
+        ]
+        sim_seq = []
+        for event in payload:
+            if event[0] == "observe":
+                _tag, iid, _iteration, observed = event
+                sim_seq.append(("observe", iid, _norm(observed)))
+            elif event[0] == "apply":
+                _tag, block, _home, _addr, version, inverted = event
+                sim_seq.append(("apply", block, _norm(version), inverted))
+            # fill-time ("send_response", ..., deferred=False) events are
+            # part of the fill transition in the model (the response goes
+            # straight onto the bus); nothing to compare.
+        if model_seq != sim_seq:
+            self._fail(
+                f"payload mismatch at {name}{args}: "
+                f"model {model_seq} vs simulator {sim_seq}"
+            )
+
+    # ------------------------------------------------------------------
+    def replay(self, events: Sequence[tuple]) -> None:
+        """Map the whole simulator trace onto model transitions."""
+        cursor = 0
+        total = len(events)
+        while cursor < total:
+            event = events[cursor]
+            kind = event[0]
+            is_driver = kind in _DRIVER_KINDS or (
+                kind == "send_response" and event[-1]  # deferred pop
+            )
+            if not is_driver:
+                self._fail(f"orphan payload event {event!r}")
+            cursor += 1
+            payload_start = cursor
+            while cursor < total:
+                nxt = events[cursor]
+                if nxt[0] in _DRIVER_KINDS or (
+                    nxt[0] == "send_response" and nxt[-1]
+                ):
+                    break
+                cursor += 1
+            payload = events[payload_start:cursor]
+            self._dispatch(event, payload)
+
+    def _dispatch(self, event: tuple, payload: Sequence[tuple]) -> None:
+        kind = event[0]
+        if kind == "local":
+            _tag, cluster, block, opkind, ref, disposition = event
+            op = self._decode_op(opkind, ref)
+            if op.cluster != cluster or op.subblock != block:
+                self._fail(f"{op.label} issued as {event!r}")
+            self._step(_LOCAL_NAMES[disposition], (op.index,), payload)
+        elif kind == "remote_issue":
+            _tag, cluster, home, block, opkind, ref = event
+            op = self._decode_op(opkind, ref)
+            if (
+                op.cluster != cluster
+                or op.subblock != block
+                or self.model.home(block) != home
+            ):
+                self._fail(f"{op.label} issued as {event!r}")
+            self._step("issue_remote", (op.index,), payload)
+        elif kind == "home_request":
+            _tag, home, src, block, opkind, ref, disposition = event
+            op = self._decode_op(opkind, ref)
+            expected_head = (
+                ("req_ld", block, (op.index,))
+                if op.is_load
+                else ("req_st", block, op.index)
+            )
+            queue = self.state.queues[src]
+            if not queue or queue[0] != expected_head:
+                self._fail(
+                    f"home c{home} served {expected_head} from c{src} but "
+                    f"the model FIFO head is "
+                    f"{queue[0] if queue else 'empty'}"
+                )
+            self._step(_REQUEST_NAMES[disposition], (src, 0), payload)
+        elif kind == "send_response":
+            _tag, home, block, iids, _deferred = event
+            ready = self.state.pending[home]
+            if not ready or ready[0][1] != block or ready[0][2] != iids:
+                self._fail(
+                    f"home c{home} sent response for sb{block} ops {iids} "
+                    f"but the model ready buffer head is "
+                    f"{ready[0] if ready else 'empty'}"
+                )
+            self._step("send_response", (home,), payload)
+        elif kind == "deliver_response":
+            _tag, requester, block, iids = event
+            home = self.model.home(block)
+            queue = self.state.queues[home]
+            if (
+                not queue
+                or queue[0][0] != "resp"
+                or queue[0][1] != block
+                or queue[0][2] != iids
+            ):
+                self._fail(
+                    f"c{requester} received response for sb{block} ops "
+                    f"{iids} but the model FIFO head is "
+                    f"{queue[0] if queue else 'empty'}"
+                )
+            self._step("deliver_response", (home,), payload)
+        else:  # fill
+            _tag, cluster, block = event
+            if self.model.home(block) != cluster:
+                self._fail(f"fill of sb{block} landed at cluster {cluster}")
+            self._step("fill_complete", (block,), payload)
+
+    # ------------------------------------------------------------------
+    def finish(self, memory: MemorySystem, machine: MachineConfig) -> None:
+        """Compare the drained final states of simulator and model."""
+        for op in self.model.program:
+            if self.state.ops[op.index][0] != COMPLETE:
+                self._fail(
+                    f"{op.label} never completed in the model although the "
+                    f"simulator drained"
+                )
+        if any(self.state.queues) or any(self.state.pending) or any(
+            self.state.mshr
+        ):
+            self._fail(
+                "model still holds in-flight work after the simulator "
+                "drained"
+            )
+        for sb in range(self.model.num_subblocks):
+            home = self.model.home(sb)
+            addr = subblock_address(machine, sb)
+            # Reaching into the memory system's version book is the whole
+            # point of the bridge: it is the simulator's ground truth.
+            sim_version = _norm(
+                memory._versions.get((sb, home), {}).get(addr)
+            )
+            if sim_version != self.state.versions[sb]:
+                self._fail(
+                    f"final version of sb{sb} differs: simulator has "
+                    f"v{sim_version}, model has v{self.state.versions[sb]}"
+                )
+            present = memory.modules[home].contains(sb)
+            if present != (self.state.cache[sb] != ABSENT):
+                self._fail(
+                    f"final residency of sb{sb} differs: simulator "
+                    f"{'holds' if present else 'lacks'} it, model says "
+                    f"{'present' if self.state.cache[sb] != ABSENT else 'absent'}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Driving the simulator
+# ----------------------------------------------------------------------
+def run_program(
+    program: Tuple[ModelOp, ...],
+    schedule: Sequence[int],
+    machine: Optional[MachineConfig] = None,
+    num_subblocks: Optional[int] = None,
+    max_cycles: int = 10_000,
+) -> ConformanceBridge:
+    """Drive one program through the simulator at the given issue cycles
+    and replay its trace through the model.
+
+    ``schedule[i]`` is the cycle op ``i`` issues; within one (cluster,
+    subblock) chain cycles must be non-decreasing in program order (the
+    in-order memory unit the model's issue guard encodes).
+    """
+    if machine is None:
+        machine = conformance_machine()
+    if num_subblocks is None:
+        num_subblocks = max(op.subblock for op in program) + 1
+    if len(schedule) != len(program):
+        raise CheckError("schedule and program lengths differ")
+
+    events: List[tuple] = []
+    completed: set = set()
+    memory = MemorySystem(machine, SimStats(), trace=events.append)
+    by_cycle: Dict[int, List[ModelOp]] = defaultdict(list)
+    for op, cycle in zip(program, schedule):
+        by_cycle[cycle].append(op)
+    last_issue = max(schedule)
+
+    cycle = 0
+    while True:
+        memory.tick_begin(cycle)
+        for op in by_cycle.get(cycle, ()):
+            addr = subblock_address(machine, op.subblock)
+            if op.is_load:
+                memory.load(
+                    op.cluster, addr, machine.interleave_bytes,
+                    op.index, 0,
+                    lambda _c, index=op.index: completed.add(index),
+                    cycle,
+                )
+            else:
+                memory.store(
+                    op.cluster, addr, machine.interleave_bytes,
+                    op.index, 0, (0, op.index + 1), False, cycle,
+                )
+        memory.tick_end(cycle)
+        if cycle >= last_issue and memory.quiescent():
+            break
+        cycle += 1
+        if cycle > max_cycles:
+            raise CheckError(
+                f"simulator did not drain within {max_cycles} cycles for "
+                "program " + "; ".join(op.label for op in program)
+            )
+
+    loads = {op.index for op in program if op.is_load}
+    if completed != loads:
+        raise CheckError(
+            f"loads {sorted(loads - completed)} never completed in the "
+            "simulator"
+        )
+
+    model = ProtocolModel(machine.num_clusters, num_subblocks, program)
+    bridge = ConformanceBridge(model)
+    bridge.replay(events)
+    bridge.finish(memory, machine)
+    return bridge
+
+
+def issue_schedules(length: int) -> List[Tuple[int, ...]]:
+    """The issue timings each program is driven under.  Together they hit
+    every disposition: back-to-back issue (miss + combine flows), small
+    stagger (requests racing fills) and wide stagger (everything resident
+    by the next access — the hit flows)."""
+    return [
+        (0,) * length,
+        tuple(range(length)),
+        tuple(3 * i for i in range(length)),
+        tuple(25 * i for i in range(length)),
+    ]
+
+
+def run_conformance(
+    num_clusters: int = 2,
+    num_subblocks: int = 2,
+    op_counts: Iterable[int] = (2, 3),
+    programs: Optional[Iterable[Tuple[ModelOp, ...]]] = None,
+    schedules: Optional[List[Tuple[int, ...]]] = None,
+) -> ConformanceReport:
+    """Run the full battery; raises :class:`~repro.errors.CheckError` on
+    the first simulator/model disagreement, returns the coverage report
+    otherwise (``report.ok`` asserts every core transition fired)."""
+    machine = conformance_machine(num_clusters)
+    report = ConformanceReport(
+        num_clusters=num_clusters, num_subblocks=num_subblocks
+    )
+    started = time.perf_counter()
+    if programs is None:
+        programs = [
+            program
+            for count in op_counts
+            for program in enumerate_programs(
+                num_clusters, num_subblocks, count
+            )
+        ]
+    for program in programs:
+        report.programs += 1
+        for schedule in (schedules or issue_schedules(len(program))):
+            bridge = run_program(
+                program, schedule, machine=machine,
+                num_subblocks=num_subblocks,
+            )
+            report.runs += 1
+            report.transitions += bridge.transitions
+            for name, count in bridge.coverage.items():
+                report.coverage[name] = report.coverage.get(name, 0) + count
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,211 @@
+"""Invariants checked over every reachable state, edge and event.
+
+Four families, matching the claims the paper's coherence solutions make:
+
+* **safety of observations** (``no_stale_read`` / ``no_future_read`` /
+  ``store_order``): in a *disciplined* program — every aliasing pair on
+  one cluster, i.e. what MDC chains and DDGT replication guarantee — a
+  load observes exactly the version of the last program-order store to
+  its subblock, and stores never apply out of order.  Undisciplined
+  (free-scheduling) programs are exempt: racing is their documented
+  behaviour, and the explorer counts those races separately as evidence
+  the model can represent them.
+
+* **bookkeeping soundness** (``single_owner`` / ``single_carrier``): a
+  subblock is either resident at its home or being filled, never both;
+  every in-flight access is carried by exactly one protocol artifact
+  (request, MSHR action, ready response or response message), and
+  completed/unissued accesses by none.
+
+* **progress** (``deadlock``): a state with no enabled transition must
+  be fully quiescent — all ops complete, no queued messages, no open
+  MSHR entries, no waiting responses.
+
+* **watchdog consistency** (``watchdog_progress``): the *drain measure*
+  :func:`measure` strictly decreases on every non-issue transition and
+  grows by at most :data:`MAX_ISSUE_DELTA` per issue.  That gives a
+  lexicographic ranking ((unissued ops, measure)) that decreases on
+  every transition, so no infinite run exists once issue stops: the
+  protocol is livelock-free and the simulator's post-issue stall
+  watchdog (``repro.sim.executor.STALL_WATCHDOG``) can only ever fire
+  on a genuine bug, never on a slow legal drain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.check.model import (
+    ABSENT,
+    COMPLETE,
+    INFLIGHT,
+    Event,
+    ProtocolModel,
+    State,
+    UNISSUED,
+)
+
+#: Drain-measure weights.  Chosen so that every non-issue transition is
+#: strictly decreasing: each protocol step turns an artifact into
+#: strictly lighter ones (e.g. serving a read request, weight 4/op,
+#: leaves a ready response, weight 2, which becomes a response message,
+#: weight 1, which vanishes at delivery).
+W_REQ_LD = 4      # per load carried by a read request message
+W_REQ_ST = 3      # a store request message
+W_RESP = 1        # a response message (any op count)
+W_READY = 2       # a ready (not yet sent) probe-hit response
+W_RESPOND = 2     # a deferred "respond" MSHR action
+W_LOCAL = 1       # a deferred local load/store MSHR action
+W_FILL = 1        # an in-flight next-level fill (MSHR entry open)
+
+#: Largest measure increase any single issue transition can cause
+#: (a remote load request).
+MAX_ISSUE_DELTA = W_REQ_LD
+
+
+def measure(state: State) -> int:
+    """Total weight of in-flight protocol work (the drain measure)."""
+    total = 0
+    for queue in state.queues:
+        for message in queue:
+            if message[0] == "req_ld":
+                total += W_REQ_LD * len(message[2])
+            elif message[0] == "req_st":
+                total += W_REQ_ST
+            else:
+                total += W_RESP
+    for ready in state.pending:
+        total += W_READY * len(ready)
+    for actions in state.mshr:
+        if actions:
+            total += W_FILL
+        for action in actions:
+            total += W_RESPOND if action[0] == "respond" else W_LOCAL
+    return total
+
+
+# ----------------------------------------------------------------------
+def state_violations(model: ProtocolModel, state: State) -> List[str]:
+    """Bookkeeping-soundness violations of one state."""
+    violations: List[str] = []
+    for sb in range(model.num_subblocks):
+        if state.mshr[sb] and state.cache[sb] != ABSENT:
+            violations.append(
+                f"single_owner: sb{sb} is resident at its home while a "
+                f"next-level fill is still in flight"
+            )
+    carriers = [0] * len(model.program)
+    for queue in state.queues:
+        for message in queue:
+            if message[0] == "req_ld":
+                for op in message[2]:
+                    carriers[op] += 1
+            elif message[0] == "req_st":
+                carriers[message[2]] += 1
+            else:
+                for op in message[2]:
+                    carriers[op] += 1
+    for ready in state.pending:
+        for message in ready:
+            for op in message[2]:
+                carriers[op] += 1
+    for actions in state.mshr:
+        for action in actions:
+            carriers[action[-1]] += 1
+    for op in model.program:
+        status = state.ops[op.index][0]
+        count = carriers[op.index]
+        if status == INFLIGHT and count != 1:
+            violations.append(
+                f"single_carrier: in-flight {op.label} is carried by "
+                f"{count} protocol artifacts (want exactly 1)"
+            )
+        elif status != INFLIGHT and count != 0:
+            violations.append(
+                f"single_carrier: {'completed' if status == COMPLETE else 'unissued'} "
+                f"{op.label} still appears in {count} protocol artifacts"
+            )
+    return violations
+
+
+def edge_violations(
+    transition_name: str, measure_before: int, measure_after: int
+) -> List[str]:
+    """Watchdog-consistency check for one fired transition."""
+    if transition_name.startswith("issue"):
+        if measure_after > measure_before + MAX_ISSUE_DELTA:
+            return [
+                f"watchdog_progress: issue transition {transition_name} "
+                f"grew the drain measure by "
+                f"{measure_after - measure_before} (> {MAX_ISSUE_DELTA})"
+            ]
+        return []
+    if measure_after >= measure_before:
+        return [
+            f"watchdog_progress: {transition_name} did not decrease the "
+            f"drain measure ({measure_before} -> {measure_after}); a "
+            f"cycle of such steps would livelock the drain"
+        ]
+    return []
+
+
+def event_violations(
+    model: ProtocolModel, events: List[Event], disciplined: bool
+) -> Tuple[List[str], int]:
+    """Observation-safety violations of one transition's events.
+
+    Returns ``(violations, races)`` where races counts stale/future
+    observations in *undisciplined* programs (legal for free scheduling,
+    and evidence the model can express the hazard at all).
+    """
+    violations: List[str] = []
+    races = 0
+    for event in events:
+        if event[0] == "observe":
+            _tag, op_index, observed, expected = event
+            if observed == expected:
+                continue
+            if not disciplined:
+                races += 1
+                continue
+            kind = "no_stale_read" if observed < expected else "no_future_read"
+            op = model.program[op_index]
+            violations.append(
+                f"{kind}: {op.label} observed version {observed} but the "
+                f"last program-order store left version {expected}"
+            )
+        elif event[0] == "apply" and event[4]:
+            _tag, sb, version, previous, _inverted = event
+            if not disciplined:
+                races += 1
+                continue
+            violations.append(
+                f"store_order: version {version} reached sb{sb} after "
+                f"younger version {previous} (program order inverted)"
+            )
+    return violations, races
+
+
+def terminal_violations(model: ProtocolModel, state: State) -> List[str]:
+    """Deadlock check for a state with no enabled transitions."""
+    problems: List[str] = []
+    stuck = [
+        model.program[i].label
+        for i, (status, _v) in enumerate(state.ops)
+        if status != COMPLETE
+    ]
+    if stuck:
+        problems.append("incomplete ops: " + ", ".join(stuck))
+    if any(state.queues):
+        problems.append("undelivered messages")
+    if any(state.pending):
+        problems.append("unsent responses")
+    if any(state.mshr):
+        problems.append("open MSHR entries")
+    if problems:
+        return ["deadlock: quiescence unreachable — " + "; ".join(problems)]
+    return []
+
+
+def unissued_count(state: State) -> int:
+    return sum(1 for status, _v in state.ops if status == UNISSUED)

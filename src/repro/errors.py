@@ -28,6 +28,11 @@ class SimulationError(ReproError):
     """The cycle-level simulator reached an inconsistent state."""
 
 
+class CheckError(ReproError):
+    """A checker found a real problem: the protocol model and the
+    simulator disagreed, or a compiled schedule failed verification."""
+
+
 class ConfigError(ReproError):
     """A machine or workload configuration is invalid."""
 

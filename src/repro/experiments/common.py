@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.api.core import execute_benchmark
 from repro.api.records import LoopRecord, RunRecord
-from repro.api.runner import Runner, default_runner
+from repro.api.runner import Runner
 from repro.api.spec import (
     ALL_VARIANTS,
     DDGT_MIN,

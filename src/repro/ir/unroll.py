@@ -23,7 +23,6 @@ from repro.alias.memref import AccessPattern
 from repro.arch.config import MachineConfig
 from repro.errors import TransformError
 from repro.ir.ddg import Ddg
-from repro.ir.edges import DepKind
 
 
 def unroll(ddg: Ddg, factor: int) -> Ddg:

@@ -179,10 +179,14 @@ def summarize(records: Sequence[RunRecord]) -> SweepResult:
             key = (record.benchmark, record.variant, record.machine)
             free_violations[key] = record.violations
         elif record.violations:
+            coherence, _, heuristic = record.variant.partition("/")
             anomalies.append(
-                f"{record.benchmark} on {record.machine} under "
-                f"{record.variant}: {record.violations} coherence "
-                f"violations (only free scheduling may violate)"
+                f"scenario={record.benchmark} coherence={coherence} "
+                f"heuristic={heuristic} machine={record.machine}: "
+                f"{record.violations} coherence violations (only free "
+                f"scheduling may violate) — reproduce with: "
+                f"repro run {record.benchmark} -v {record.variant} "
+                f"--machine {record.machine} --scale {record.scale:g}"
             )
 
     summaries: List[FamilySummary] = []

@@ -22,8 +22,8 @@ from typing import Dict, List, Tuple
 
 from repro.arch.config import MachineConfig
 from repro.ir.ddg import Ddg
-from repro.ir.edges import DepKind, Edge
-from repro.ir.instructions import Instruction, Opcode
+from repro.ir.edges import DepKind
+from repro.ir.instructions import Opcode
 from repro.sched.cluster import ClusterAssignment
 
 

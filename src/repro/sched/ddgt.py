@@ -31,7 +31,7 @@ serializes two aliased stores within each cluster).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.arch.config import MachineConfig
 from repro.errors import TransformError

@@ -54,6 +54,7 @@ def compile_loop(
     add_mem_deps: bool = True,
     profile_iterations: Optional[int] = 256,
     check: bool = True,
+    verify: bool = False,
     artifacts=None,
 ) -> CompilationResult:
     """Compile one loop for the clustered machine.
@@ -74,6 +75,13 @@ def compile_loop(
         Run conservative disambiguation.  Disable when the input graph
         already carries hand-written memory edges (e.g. the paper's
         Figure 3 example).
+    verify:
+        Run the opt-in ninth stage: the independent static schedule
+        verifier (:mod:`repro.check.schedule_lint`).  Raises
+        :class:`~repro.errors.CheckError` on any finding.  ``check``
+        (the scheduler's own assertions) stays on by default; ``verify``
+        re-derives the rules from scratch and adds the whole-compilation
+        ones (copy completeness, memory-op placement under MDC/DDGT).
     artifacts:
         Optional artifact store (``get(key) -> dict | None`` /
         ``put(key, dict)``).  Front-end stage outputs are replayed from —
@@ -92,5 +100,6 @@ def compile_loop(
         add_mem_deps=add_mem_deps,
         profile_iterations=profile_iterations,
         check=check,
+        verify=verify,
         artifacts=artifacts,
     )

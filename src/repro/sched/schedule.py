@@ -22,7 +22,7 @@ instance ``i`` of ``v`` issues at ``t(v) + i * II``.  A dependence edge
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.config import FuKind, MachineConfig
 from repro.errors import SchedulingError

@@ -106,6 +106,12 @@ PIPELINE_STAGES: Tuple[StageDef, ...] = (
     StageDef("postpass",
              ("ddg", "machine", "assignment", "schedule", "profiles"),
              ("assignment", "schedule")),
+    # Opt-in (``verify=True``): the independent static verifier of
+    # ``repro.check.schedule_lint`` re-derives every legality rule from
+    # the machine description and fails the compilation on any finding.
+    StageDef("verify",
+             ("ddg", "machine", "assignment", "schedule", "coherence"),
+             ()),
 )
 
 #: The variant-independent prefix shared by the whole variant cross.
@@ -463,6 +469,7 @@ def execute_pipeline(
     add_mem_deps: bool = True,
     profile_iterations: Optional[int] = 256,
     check: bool = True,
+    verify: bool = False,
     artifacts=None,
 ) -> CompilationResult:
     """Run the staged pipeline end to end for one variant.
@@ -470,6 +477,10 @@ def execute_pipeline(
     With ``artifacts`` (an object with ``get(key) -> dict | None`` and
     ``put(key, dict)``) the front-end stages are replayed from — and
     recorded into — the store; without it the pipeline is pure compute.
+
+    ``verify=True`` runs the ninth, opt-in stage: the independent static
+    schedule verifier (:mod:`repro.check.schedule_lint`), which raises
+    :class:`~repro.errors.CheckError` on any finding.
     """
     work, factor, profiles = _frontend(
         ddg, machine,
@@ -514,7 +525,7 @@ def execute_pipeline(
     if check:
         schedule.validate()
 
-    return CompilationResult(
+    result = CompilationResult(
         schedule=schedule,
         ddg=work,
         source=source,
@@ -528,3 +539,20 @@ def execute_pipeline(
         copies=copies,
         unroll_factor=factor,
     )
+
+    if verify:
+        # Imported lazily: repro.check.schedule_lint imports this module
+        # for CompilationResult/CoherenceMode.
+        from repro.check.schedule_lint import lint_compilation
+        from repro.errors import CheckError
+
+        with _timed("verify"):
+            findings = lint_compilation(result)
+        if findings:
+            raise CheckError(
+                f"schedule verification failed with {len(findings)} "
+                "finding(s):\n"
+                + "\n".join(f"  {finding}" for finding in findings)
+            )
+
+    return result

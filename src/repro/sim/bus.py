@@ -22,7 +22,7 @@ cluster in issue order.  Nothing orders messages from *different* sources
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.arch.config import BusConfig
@@ -30,12 +30,17 @@ from repro.arch.config import BusConfig
 
 @dataclass
 class BusMessage:
-    """One transfer.  ``on_deliver(cycle)`` runs when it reaches ``dst``."""
+    """One transfer.  ``on_deliver(cycle)`` runs when it reaches ``dst``.
+
+    ``tag`` is optional opaque metadata for observers (the conformance
+    trace of :mod:`repro.check.conformance`); the fabric never reads it.
+    """
 
     src: int
     dst: int
     on_deliver: Callable[[int], None]
     enqueued_at: int = 0
+    tag: Optional[tuple] = None
 
 
 class BusFabric:

@@ -24,13 +24,33 @@ identical under both simulation engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.alias.profiles import TraceLike
 from repro.ir.ddg import Ddg
 
 Version = Tuple[int, int]
+
+
+def classify_observation(
+    expected: Optional[Version], observed: Optional[Version]
+) -> Optional[str]:
+    """Classify one load observation against its oracle.
+
+    Returns ``None`` when the load saw exactly the prescribed version,
+    ``"stale"`` when it saw an older one (a missed store — the hazard of
+    the paper's Figure 2) and ``"future"`` when it saw a younger one (a
+    broken memory-anti dependence).  ``None`` versions mean the initial
+    memory contents, older than every store.  Pure and total — shared by
+    :class:`CoherenceChecker` and the conformance bridge
+    (:mod:`repro.check.conformance`).
+    """
+    if observed == expected:
+        return None
+    if expected is None or (observed is not None and observed > expected):
+        return "future"
+    return "stale"
 
 
 @dataclass
@@ -96,10 +116,12 @@ class CoherenceChecker:
         For replicated graphs callers pass the *original* iid (loads are
         never replicated, so this is only a documentation point).
         """
-        expected = self._expected.get((load_iid, iteration))
-        if observed == expected:
+        verdict = classify_observation(
+            self._expected.get((load_iid, iteration)), observed
+        )
+        if verdict is None:
             return False
-        if expected is None or (observed is not None and observed > expected):
+        if verdict == "future":
             self.counts.future_reads += 1
         else:
             self.counts.stale_reads += 1

@@ -39,7 +39,7 @@ Two engines share this model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.alias.profiles import TraceLike

@@ -48,13 +48,17 @@ from repro.sim.attraction import AttractionBuffer
 from repro.sim.bus import BusFabric, BusMessage
 from repro.sim.cache import CacheModule
 from repro.sim.coherence import CoherenceChecker
-from repro.sim.interleave import home_cluster, spans_clusters, subblock_id
+from repro.sim.interleave import home_cluster, subblock_id
 from repro.sim.nextlevel import NextLevel, NextLevelRequest
 from repro.sim.stats import AccessType, SimStats
 
 Version = Tuple[int, int]
 SubblockKey = Tuple[int, int]
 LoadCallback = Callable[[int], None]  # completion cycle
+#: Structured protocol events (see the class docstring of
+#: :class:`MemorySystem` for the vocabulary); consumed by the
+#: conformance bridge in :mod:`repro.check.conformance`.
+TraceCallback = Callable[[tuple], None]
 
 
 @dataclass
@@ -94,17 +98,38 @@ class _HomeWaiter:
 
 
 class MemorySystem:
-    """All clusters' cache modules plus the interconnect."""
+    """All clusters' cache modules plus the interconnect.
+
+    ``trace``, when given, receives one tuple per protocol step — pure
+    observation, no behavioural effect.  The vocabulary (``block`` is
+    the cache-block id, ``ref`` a load's iid or a store's version)::
+
+        ("local", cluster, block, kind, ref, disposition)
+        ("remote_issue", cluster, home, block, kind, ref)
+        ("home_request", home, src, block, kind, ref, disposition)
+        ("send_response", home, block, iids, deferred)
+        ("deliver_response", requester, block, iids)
+        ("fill", cluster, block)
+        ("observe", iid, iteration, observed_version)
+        ("apply", block, home, addr, version, inverted)
+
+    with ``kind`` in ``load``/``store`` and ``disposition`` in
+    ``hit``/``miss``/``combine``.  The conformance bridge
+    (:mod:`repro.check.conformance`) replays these through the protocol
+    model transition by transition.
+    """
 
     def __init__(
         self,
         machine: MachineConfig,
         stats: SimStats,
         checker: Optional[CoherenceChecker] = None,
+        trace: Optional[TraceCallback] = None,
     ) -> None:
         self.machine = machine
         self.stats = stats
         self.checker = checker
+        self._trace = trace
         self.modules = [
             CacheModule(machine.cache) for _ in machine.clusters
         ]
@@ -132,6 +157,8 @@ class MemorySystem:
     def tick_begin(self, cycle: int) -> None:
         if self._deferred_sends:
             for message in self._deferred_sends.pop(cycle, ()):
+                if self._trace is not None and message.tag is not None:
+                    self._trace(("send_response",) + message.tag + (True,))
                 self.fabric.send(message)
         self.next_level.tick(cycle)
         self.fabric.deliver(cycle)
@@ -241,7 +268,10 @@ class MemorySystem:
     def _apply_store(self, key: SubblockKey, addr: int, version: Version) -> None:
         bucket = self._bucket(key)
         current = bucket.get(addr)
-        if current is not None and current > version:
+        inverted = current is not None and current > version
+        if self._trace is not None:
+            self._trace(("apply", key[0], key[1], addr, version, inverted))
+        if inverted:
             # A younger store already applied: program order inverted.
             if self.checker is not None:
                 self.checker.observe_write_inversion()
@@ -250,6 +280,8 @@ class MemorySystem:
         bucket[addr] = version
 
     def _observe(self, load: _PendingLoad, observed: Optional[Version]) -> None:
+        if self._trace is not None:
+            self._trace(("observe", load.iid, load.iteration, observed))
         if self.checker is not None:
             if self.checker.observe_load(load.iid, load.iteration, observed):
                 self.stats.coherence_violations += 1
@@ -335,16 +367,25 @@ class MemorySystem:
         module = self.modules[cluster]
         if module.probe(block):
             self.stats.record_access(AccessType.LOCAL_HIT)
+            if self._trace is not None:
+                self._trace(("local", cluster, block, "load", pending.iid,
+                             "hit"))
             self._observe(pending, self._bucket(key).get(pending.addr))
             pending.on_complete(cycle + self.machine.cache.hit_latency)
             return
         waiter = self._home_mshr[cluster].get(block)
         if waiter is not None:
             self.stats.record_access(AccessType.COMBINED)
+            if self._trace is not None:
+                self._trace(("local", cluster, block, "load", pending.iid,
+                             "combine"))
             waiter.defer_load(pending)
             self._outstanding += 1
             return
         self.stats.record_access(AccessType.LOCAL_MISS)
+        if self._trace is not None:
+            self._trace(("local", cluster, block, "load", pending.iid,
+                         "miss"))
         waiter = _HomeWaiter()
         waiter.defer_load(pending)
         self._home_mshr[cluster][block] = waiter
@@ -359,16 +400,24 @@ class MemorySystem:
         module = self.modules[cluster]
         if module.probe(block):
             self.stats.record_access(AccessType.LOCAL_HIT)
+            if self._trace is not None:
+                self._trace(("local", cluster, block, "store", version,
+                             "hit"))
             module.mark_dirty(block)
             self._apply_store(key, addr, version)
             return
         waiter = self._home_mshr[cluster].get(block)
         if waiter is not None:
             self.stats.record_access(AccessType.COMBINED)
+            if self._trace is not None:
+                self._trace(("local", cluster, block, "store", version,
+                             "combine"))
             waiter.defer_store(addr, version)
             self._outstanding += 1
             return
         self.stats.record_access(AccessType.LOCAL_MISS)
+        if self._trace is not None:
+            self._trace(("local", cluster, block, "store", version, "miss"))
         waiter = _HomeWaiter()
         waiter.defer_store(addr, version)
         self._home_mshr[cluster][block] = waiter
@@ -390,6 +439,8 @@ class MemorySystem:
         self.next_level.request(NextLevelRequest(on_fill=on_fill))
 
     def _handle_fill(self, cluster: int, block: int, cycle: int) -> None:
+        if self._trace is not None:
+            self._trace(("fill", cluster, block))
         module = self.modules[cluster]
         victim = module.install(block, dirty=False)
         if victim is not None and victim.dirty:
@@ -443,6 +494,9 @@ class MemorySystem:
         replays its actions in arrival order.)
         """
         self._outstanding += 1
+        if self._trace is not None:
+            self._trace(("remote_issue", cluster, home, key[0], "load",
+                         pending.iid))
 
         def at_home(arrival: int) -> None:
             self._home_load_request(cluster, home, key, pending, arrival)
@@ -459,6 +513,9 @@ class MemorySystem:
         module = self.modules[home]
         if module.probe(block):
             self.stats.record_access(AccessType.REMOTE_HIT)
+            if self._trace is not None:
+                self._trace(("home_request", home, requester, block, "load",
+                             pending.iid, "hit"))
             self._send_response(
                 home,
                 requester,
@@ -471,10 +528,16 @@ class MemorySystem:
         waiter = self._home_mshr[home].get(block)
         if waiter is not None:
             self.stats.record_access(AccessType.COMBINED)
+            if self._trace is not None:
+                self._trace(("home_request", home, requester, block, "load",
+                             pending.iid, "combine"))
             waiter.defer_response(requester, pending)
             self._outstanding += 1
             return
         self.stats.record_access(AccessType.REMOTE_MISS)
+        if self._trace is not None:
+            self._trace(("home_request", home, requester, block, "load",
+                         pending.iid, "miss"))
         waiter = _HomeWaiter()
         waiter.defer_response(requester, pending)
         self._home_mshr[home][block] = waiter
@@ -498,15 +561,22 @@ class MemorySystem:
         self._observe(pending, snapshot.get(pending.addr))
 
         def at_requester(arrival: int) -> None:
+            if self._trace is not None:
+                self._trace(("deliver_response", requester, key[0],
+                             (pending.iid,)))
             pending.on_complete(arrival)
             self._outstanding -= 1
             if self.abs is not None:
                 self._ab_fill(requester, key, snapshot)
 
         message = BusMessage(
-            src=home, dst=requester, on_deliver=at_requester, enqueued_at=send_at
+            src=home, dst=requester, on_deliver=at_requester,
+            enqueued_at=send_at, tag=(home, key[0], (pending.iid,)),
         )
         if send_at <= now:
+            if self._trace is not None:
+                self._trace(("send_response", home, key[0], (pending.iid,),
+                             False))
             self.fabric.send(message)
         else:
             self._deferred_sends.setdefault(send_at, []).append(message)
@@ -521,9 +591,12 @@ class MemorySystem:
         cycle: int,
     ) -> None:
         self._outstanding += 1
+        if self._trace is not None:
+            self._trace(("remote_issue", cluster, home, key[0], "store",
+                         version))
 
         def at_home(arrival: int) -> None:
-            self._home_store_request(home, key, addr, version)
+            self._home_store_request(home, key, addr, version, src=cluster)
             self._outstanding -= 1
 
         self.fabric.send(
@@ -531,22 +604,32 @@ class MemorySystem:
         )
 
     def _home_store_request(
-        self, home: int, key: SubblockKey, addr: int, version: Version
+        self, home: int, key: SubblockKey, addr: int, version: Version,
+        src: Optional[int] = None,
     ) -> None:
         block = key[0]
         module = self.modules[home]
         if module.probe(block):
             self.stats.record_access(AccessType.REMOTE_HIT)
+            if self._trace is not None:
+                self._trace(("home_request", home, src, block, "store",
+                             version, "hit"))
             module.mark_dirty(block)
             self._apply_store(key, addr, version)
             return
         waiter = self._home_mshr[home].get(block)
         if waiter is not None:
             self.stats.record_access(AccessType.COMBINED)
+            if self._trace is not None:
+                self._trace(("home_request", home, src, block, "store",
+                             version, "combine"))
             waiter.defer_store(addr, version)
             self._outstanding += 1
             return
         self.stats.record_access(AccessType.REMOTE_MISS)
+        if self._trace is not None:
+            self._trace(("home_request", home, src, block, "store",
+                         version, "miss"))
         waiter = _HomeWaiter()
         waiter.defer_store(addr, version)
         self._home_mshr[home][block] = waiter

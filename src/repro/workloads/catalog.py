@@ -36,7 +36,6 @@ from repro.workloads.kernels import (
     reduction_kernel,
     streaming_kernel,
     table_lookup_kernel,
-    table_update_kernel,
 )
 
 

@@ -22,9 +22,8 @@ All templates share conventions:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.alias.disambiguation import DEFAULT_HORIZON
 from repro.alias.memref import AccessPattern, MemRef
 from repro.errors import WorkloadError
 from repro.ir.builder import DdgBuilder

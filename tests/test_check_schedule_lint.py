@@ -1,0 +1,162 @@
+"""The static schedule verifier: clean on real compiler output, and each
+rule fires on a targeted corruption of that output."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import BASELINE_CONFIG
+from repro.check.schedule_lint import lint_compilation, lint_schedule
+from repro.errors import CheckError
+from repro.ir.edges import DepKind, MEMORY_DEP_KINDS
+from repro.sched import CoherenceMode, Heuristic, compile_loop
+from repro.workloads import trace_factory
+
+
+def compile_variant(ddg, coherence, heuristic=Heuristic.MINCOMS, **kw):
+    return compile_loop(
+        ddg,
+        BASELINE_CONFIG,
+        coherence=coherence,
+        heuristic=heuristic,
+        trace_factory=trace_factory(64, seed=3),
+        **kw,
+    )
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestCleanOutput:
+    @pytest.mark.parametrize("coherence", list(CoherenceMode))
+    def test_compiler_output_lints_clean(self, stream_loop, coherence):
+        result = compile_variant(stream_loop, coherence)
+        assert lint_compilation(result) == []
+
+    @pytest.mark.parametrize("coherence", list(CoherenceMode))
+    def test_verify_stage_accepts_compiler_output(
+        self, stream_loop, coherence
+    ):
+        result = compile_variant(stream_loop, coherence, verify=True)
+        assert result.schedule.ops
+
+    def test_verify_stage_raises_on_findings(self, stream_loop, monkeypatch):
+        from repro.check import schedule_lint
+
+        monkeypatch.setattr(
+            schedule_lint, "lint_compilation",
+            lambda result: [schedule_lint.LintFinding("resource", "boom")],
+        )
+        with pytest.raises(CheckError, match=r"1 finding\(s\)"):
+            compile_variant(stream_loop, CoherenceMode.NONE, verify=True)
+
+
+class TestCorruptions:
+    """Each corruption edits the finished schedule behind the verifier's
+    back; the matching rule must fire."""
+
+    @pytest.fixture
+    def result(self, stream_loop):
+        return compile_variant(stream_loop, CoherenceMode.NONE)
+
+    def test_missing_op_is_incomplete(self, result):
+        schedule = result.schedule
+        victim = next(iter(schedule.ops))
+        del schedule.ops[victim]
+        findings = lint_compilation(result)
+        assert rules(findings) == {"completeness"}  # cascade stops here
+        assert any(f.iid == victim for f in findings)
+
+    def test_unknown_iid_is_incomplete(self, result):
+        schedule = result.schedule
+        any_op = next(iter(schedule.ops.values()))
+        schedule.ops[9999] = replace(any_op, iid=9999)
+        findings = lint_compilation(result)
+        assert "completeness" in rules(findings)
+
+    def test_assignment_disagreement_is_incomplete(self, result):
+        schedule = result.schedule
+        victim = next(iter(schedule.ops))
+        placed = schedule.ops[victim]
+        schedule.ops[victim] = replace(
+            placed,
+            cluster=(placed.cluster + 1) % result.machine.num_clusters,
+        )
+        findings = lint_compilation(result)
+        assert "completeness" in rules(findings)
+
+    def test_violated_latency_is_found(self, result):
+        schedule = result.schedule
+        edge = next(
+            e for e in result.ddg.edges()
+            if e.distance == 0 and e.src != e.dst
+        )
+        placed = schedule.ops[edge.dst]
+        schedule.ops[edge.dst] = replace(
+            placed, time=schedule.ops[edge.src].time - 100
+        )
+        findings = lint_schedule(
+            result.ddg, result.machine, result.assignment, schedule
+        )
+        assert "latency" in rules(findings)
+
+    def test_uncovered_cross_cluster_flow_is_found(self, result):
+        # Move an RF producer-consumer pair apart, updating the
+        # assignment consistently so completeness stays quiet.
+        ddg = result.ddg
+        schedule = result.schedule
+        edge = next(
+            e for e in ddg.edges()
+            if e.kind is DepKind.RF
+            and not ddg.node(e.src).is_copy and not ddg.node(e.dst).is_copy
+        )
+        placed = schedule.ops[edge.dst]
+        other = (placed.cluster + 1) % result.machine.num_clusters
+        schedule.ops[edge.dst] = replace(placed, cluster=other)
+        result.assignment.cluster_of[edge.dst] = other
+        findings = lint_compilation(result)
+        assert "copies" in rules(findings)
+
+    def test_resource_overcommit_is_found(self, result):
+        # Pile every non-copy op of one FU kind onto one (cluster, slot).
+        ddg = result.ddg
+        schedule = result.schedule
+        from collections import Counter
+
+        kinds = Counter(
+            ddg.node(iid).fu_kind
+            for iid in schedule.ops if not ddg.node(iid).is_copy
+        )
+        kind = kinds.most_common(1)[0][0]
+        for iid, placed in list(schedule.ops.items()):
+            if ddg.node(iid).is_copy or ddg.node(iid).fu_kind is not kind:
+                continue
+            schedule.ops[iid] = replace(placed, cluster=0, time=0)
+            result.assignment.cluster_of[iid] = 0
+        findings = lint_compilation(result)
+        assert "resource" in rules(findings)
+
+    def test_split_mdc_chain_is_found(self, figure3):
+        source, _ = figure3
+        result = compile_variant(
+            source, CoherenceMode.MDC, heuristic=Heuristic.PREFCLUS,
+            unroll_factor=1, add_mem_deps=False,
+        )
+        ddg = result.ddg
+        schedule = result.schedule
+        edge = next(
+            e for e in ddg.edges()
+            if e.kind in MEMORY_DEP_KINDS and e.src != e.dst
+        )
+        placed = schedule.ops[edge.dst]
+        other = (placed.cluster + 1) % result.machine.num_clusters
+        schedule.ops[edge.dst] = replace(placed, cluster=other)
+        result.assignment.cluster_of[edge.dst] = other
+        findings = lint_compilation(result)
+        assert "memory_order" in rules(findings)
+
+    def test_findings_render_with_rule_tag(self, result):
+        del result.schedule.ops[next(iter(result.schedule.ops))]
+        finding = lint_compilation(result)[0]
+        assert str(finding).startswith("[completeness]")

@@ -266,6 +266,15 @@ class TestSweepHarness:
         assert not result.ok
         assert "mdc/prefclus" in result.anomalies[0]
         assert "DIFFERENTIAL CHECK FAILED" in result.render()
+        # The anomaly names the full (scenario, coherence, heuristic)
+        # triple and carries a stable reproduction command.
+        assert f"scenario={name}" in result.anomalies[0]
+        assert "coherence=mdc" in result.anomalies[0]
+        assert "heuristic=prefclus" in result.anomalies[0]
+        assert (
+            f"repro run {name} -v mdc/prefclus --machine baseline "
+            "--scale 0.1" in result.anomalies[0]
+        )
 
     def test_summary_metrics(self):
         name = "scn-stream-n24-m40-r1-a10-s0"

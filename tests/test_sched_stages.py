@@ -44,7 +44,7 @@ class TestStageTable:
         names = [s.name for s in PIPELINE_STAGES]
         assert names == [
             "unroll", "disambiguate", "profile", "coherence", "assign",
-            "copies", "schedule", "postpass",
+            "copies", "schedule", "postpass", "verify",
         ]
         assert FRONTEND_STAGES == ("unroll", "disambiguate", "profile")
         assert all(not STAGE_BY_NAME[n].cacheable
