@@ -116,3 +116,53 @@ def test_event_skipping_beats_per_cycle_reference(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"expected >={MIN_SPEEDUP}x simulation speedup, got {speedup:.2f}x"
     )
+
+
+#: Max relative wall-time cost of the observability layer on the
+#: simulator path, in either state.  `repro.obs` instrumentation is
+#: O(1) per simulate() call — never per cycle — so both the disabled
+#: path (one attribute check per hook) and the enabled path (a few
+#: dozen dict updates per run) must be noise next to the simulation.
+MAX_OBS_OVERHEAD = 0.05
+
+
+def test_observability_overhead_is_negligible():
+    """Instrumented-vs-disabled wall time on the simulator hot path.
+
+    Interleaves min-of-N timings of the same event-engine run with the
+    metrics registry disabled (and no tracer — the default state) and
+    with everything lit (recording registry + installed tracer), and
+    bounds the relative difference.  min-of-N makes the comparison
+    robust to scheduler noise; interleaving makes it fair to both.
+    """
+    from repro.obs import metrics, trace
+
+    compiled = _compiled()
+    _run(compiled, "events", check=False)  # warm-up
+
+    rounds = 5
+    dark_best = lit_best = float("inf")
+    for _ in range(rounds):
+        with metrics.capture(enabled=False):
+            previous = trace.set_tracer(None)
+            try:
+                _, seconds = _run(compiled, "events", check=False)
+            finally:
+                trace.set_tracer(previous)
+        dark_best = min(dark_best, seconds)
+
+        with metrics.capture(enabled=True):
+            previous = trace.set_tracer(trace.Tracer())
+            try:
+                _, seconds = _run(compiled, "events", check=False)
+            finally:
+                trace.set_tracer(previous)
+        lit_best = min(lit_best, seconds)
+
+    overhead = lit_best / dark_best - 1.0
+    print(f"\nobservability overhead: disabled {dark_best:.4f}s | "
+          f"enabled {lit_best:.4f}s | {overhead:+.1%}")
+    assert lit_best <= dark_best * (1.0 + MAX_OBS_OVERHEAD), (
+        f"enabled instrumentation costs {overhead:+.1%} "
+        f"(budget: {MAX_OBS_OVERHEAD:.0%})"
+    )

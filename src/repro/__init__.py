@@ -26,7 +26,13 @@ The package provides, from scratch:
 * a seeded synthetic scenario engine (:mod:`repro.scenarios`) — kernel
   and machine-space generators plus a differential free/MDC/DDGT sweep
   harness (``repro scenarios {generate,sweep,report}``) that turns the
-  reproduction into a general stress/fuzz rig.
+  reproduction into a general stress/fuzz rig;
+* unified observability (:mod:`repro.obs`) — a process-wide metrics
+  registry with exact cross-process aggregation and span tracing with
+  Perfetto-loadable export (``--trace``/``--metrics``, ``repro obs``) —
+  plus config-driven benchmark grids with a persistent, CI-compared
+  ``BENCH_*.json`` perf trajectory (:mod:`repro.bench`,
+  ``repro bench {run,compare}``, ``docs/observability.md``).
 
 Quickstart — declare work, run it, read structured results::
 
@@ -56,7 +62,7 @@ For the low-level path — build a DDG by hand, compile and simulate it —
 see ``examples/quickstart.py`` and :func:`compile_loop`/:func:`simulate`.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.alias import AccessPattern, MemRef
 from repro.arch import (

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from repro.api.store import JsonFileStore, resolve_cache_root
+from repro.obs import metrics, trace
 
 #: Subdirectory of the cache root that holds artifacts.
 ARTIFACT_SUBDIR = "artifacts"
@@ -52,7 +53,15 @@ def artifact_root(cache_root: Union[str, Path, None] = None) -> Path:
 # ----------------------------------------------------------------------
 @dataclass
 class ArtifactStats:
-    """Hit/miss/put counters (zeroed at process start)."""
+    """Hit/miss/put counters.
+
+    Since the `repro.obs` migration this is a *snapshot view* built by
+    :func:`artifact_stats` from the process metrics registry
+    (``artifacts.lookups`` labeled by stage and outcome,
+    ``artifacts.puts``) — fetch it after the work you want to measure.
+    Because the runner merges each pool worker's metric deltas back into
+    the parent registry, the view now covers ``parallel>1`` runs too.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -78,18 +87,31 @@ class ArtifactStats:
         cell[0 if hit else 1] += 1
 
 
-_STATS = ArtifactStats()
+def _record_lookup(key: str, hit: bool) -> None:
+    metrics.inc("artifacts.lookups", stage=key.split("-", 1)[0],
+                outcome="hit" if hit else "miss")
 
 
 def artifact_stats() -> ArtifactStats:
-    """Process-wide artifact counters (live object, not a snapshot)."""
-    return _STATS
+    """Current artifact counters, read out of the metrics registry."""
+    stats = ArtifactStats()
+    reg = metrics.registry()
+    for labels, value in reg.counter_items("artifacts.lookups"):
+        stage = labels.get("stage", "")
+        hit = labels.get("outcome") == "hit"
+        cell = stats.by_stage.setdefault(stage, [0, 0])
+        cell[0 if hit else 1] += int(value)
+        if hit:
+            stats.hits += int(value)
+        else:
+            stats.misses += int(value)
+    stats.puts = int(reg.counter("artifacts.puts"))
+    return stats
 
 
 def reset_artifact_stats() -> None:
-    """Zero the process-wide counters (tests and benchmarks)."""
-    global _STATS
-    _STATS = ArtifactStats()
+    """Zero the artifact metrics (tests and benchmarks)."""
+    metrics.registry().reset("artifacts.")
 
 
 # ----------------------------------------------------------------------
@@ -104,8 +126,9 @@ class ArtifactStore:
     """
 
     def get(self, key: str) -> Optional[dict]:
-        text = self._get(key)
-        _STATS.record(key, hit=text is not None)
+        with trace.span("artifact.get", cat="artifact", key=key):
+            text = self._get(key)
+        _record_lookup(key, hit=text is not None)
         if text is None:
             return None
         return json.loads(text)
@@ -115,8 +138,9 @@ class ArtifactStore:
         that immediately replay what they stored (the staged pipeline's
         cold path) can decode it without re-encoding."""
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        self._put(key, text)
-        _STATS.puts += 1
+        with trace.span("artifact.put", cat="artifact", key=key):
+            self._put(key, text)
+        metrics.inc("artifacts.puts")
         return text
 
     # -- implementation hooks ------------------------------------------

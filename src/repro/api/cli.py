@@ -13,15 +13,22 @@ Built on the same :class:`~repro.api.spec.Plan` objects as the library:
 * ``repro check {protocol,conformance,schedule}`` — the exhaustive
   coherence-protocol model checker, the simulator/model conformance
   bridge, and the static schedule verifier (:mod:`repro.check`);
-* ``repro cache {info,clear}`` — manage the on-disk result store.
+* ``repro cache {info,clear}`` — manage the on-disk result store;
+* ``repro bench {run,compare}`` — config-driven benchmark grids with a
+  persistent ``BENCH_*.json`` perf trajectory (:mod:`repro.bench`);
+* ``repro obs {trace,metrics}`` — summarize trace/metric files produced
+  with ``--trace FILE`` / ``--metrics FILE`` (:mod:`repro.obs`).
 
 All compute-bearing commands accept ``--parallel N`` (process fan-out)
 and use the on-disk :class:`~repro.api.store.DiskStore` under
 ``.repro_cache/`` by default, so a second invocation is near-instant and
 byte-identical.  ``repro run`` and ``repro scenarios sweep`` stream:
-completions print live progress (on a tty), checkpoint into a
+completions print live progress (a ``\\r`` status line on a tty,
+periodic plain lines otherwise), checkpoint into a
 :class:`~repro.api.journal.RunJournal`, and ``--resume`` picks a killed
-run back up without re-executing completed work.
+run back up without re-executing completed work.  Every command accepts
+``--trace FILE`` (Perfetto-loadable span trace; ``.jsonl`` for JSONL)
+and ``--metrics FILE`` (metrics-registry snapshot) where they appear.
 """
 
 from __future__ import annotations
@@ -29,7 +36,10 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
+
+from repro import obs
 
 from repro.analysis.report import format_table
 from repro.api.artifacts import (
@@ -74,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use a throwaway in-memory store")
         p.add_argument("--out", default=None, metavar="FILE",
                        help="also write the rendered output to FILE")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a span trace (Chrome trace-event "
+                            "JSON, Perfetto-loadable; .jsonl for JSONL)")
+        p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="write a metrics-registry snapshot as JSON")
 
     p_run = sub.add_parser("run", help="run a grid of specs")
     p_run.add_argument("benchmarks", nargs="*", metavar="BENCH",
@@ -235,6 +250,53 @@ def _build_parser() -> argparse.ArgumentParser:
              "(e.g. 7d, 12h, 30m)",
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="config-driven benchmark grids with a persistent "
+             "BENCH_*.json perf trajectory (repro.bench)",
+    )
+    bench_sub = p_bench.add_subparsers(dest="action", required=True)
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run a grid config and emit BENCH_<grid>.json + CSV")
+    p_bench_run.add_argument(
+        "--grid", default="benchmarks/grids/default.json", metavar="FILE",
+        help="grid config (default: benchmarks/grids/default.json)")
+    p_bench_run.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="override the config's repeat count (median wall is tracked)")
+    p_bench_run.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="where BENCH_<grid>.json + CSV land (default: .)")
+    p_bench_run.add_argument("--trace", default=None, metavar="FILE",
+                             help="write a span trace of the grid run")
+    p_bench_run.add_argument("--metrics", default=None, metavar="FILE",
+                             help="write a metrics snapshot of the run")
+    p_bench_cmp = bench_sub.add_parser(
+        "compare",
+        help="diff a trajectory against a previous one; non-zero exit "
+             "on regression")
+    p_bench_cmp.add_argument(
+        "current", metavar="CURRENT",
+        help="current BENCH_<grid>.json")
+    p_bench_cmp.add_argument(
+        "--against", required=True, metavar="PREVIOUS",
+        help="previous trajectory to compare against")
+    p_bench_cmp.add_argument(
+        "--threshold", type=float, default=15.0, metavar="PCT",
+        help="relative regression threshold in percent (default: 15)")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="summarize observability artifacts (trace/metrics files)",
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_obs_trace = obs_sub.add_parser(
+        "trace", help="summarize a span-trace file (--trace output)")
+    p_obs_trace.add_argument("file", metavar="FILE")
+    p_obs_metrics = obs_sub.add_parser(
+        "metrics", help="render a metrics snapshot (--metrics output)")
+    p_obs_metrics.add_argument("file", metavar="FILE")
+
     return parser
 
 
@@ -311,21 +373,69 @@ def _journal(args: argparse.Namespace, plan: Plan) -> Optional[RunJournal]:
 
 
 def _progress_printer():
-    """Live one-line progress on stderr; ``None`` off a tty (so piped
-    and captured output stays byte-identical)."""
-    if not sys.stderr.isatty():  # pragma: no cover - tty-only cosmetics
-        return None
+    """Live progress on stderr, degrading gracefully off a tty.
 
-    def emit(done: int, total: int, item) -> None:  # pragma: no cover
+    On a tty: a single ``\\r``-rewritten status line.  Off a tty (CI
+    logs, pipes): periodic plain newline-terminated lines — roughly one
+    per tenth of the plan plus the final one — so captured logs show
+    progress without carriage-return noise.  stdout is never touched,
+    so piped *output* stays byte-identical either way.
+    """
+    if sys.stderr.isatty():  # pragma: no cover - tty-only cosmetics
+        def emit(done: int, total: int, item) -> None:
+            label = ""
+            if isinstance(item, RunRecord):
+                label = f"  {item.benchmark} {item.variant}"
+            sys.stderr.write(f"\r[{done}/{total}]{label}\x1b[K")
+            if done >= total:
+                sys.stderr.write("\n")
+            sys.stderr.flush()
+
+        return emit
+
+    def emit_plain(done: int, total: int, item) -> None:
+        step = max(1, total // 10)
+        if done % step and done < total:
+            return
         label = ""
         if isinstance(item, RunRecord):
             label = f"  {item.benchmark} {item.variant}"
-        sys.stderr.write(f"\r[{done}/{total}]{label}\x1b[K")
-        if done >= total:
-            sys.stderr.write("\n")
+        sys.stderr.write(f"[{done}/{total}]{label}\n")
         sys.stderr.flush()
 
-    return emit
+    return emit_plain
+
+
+@contextmanager
+def _observed(args: argparse.Namespace):
+    """Honor ``--trace FILE`` / ``--metrics FILE`` around a command.
+
+    With ``--trace`` the whole command runs under a root span on a
+    fresh tracer (written, in Chrome or JSONL format by extension, when
+    the command finishes); with ``--metrics`` the process registry's
+    snapshot is written on exit.  Commands without those flags pass
+    through untouched.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    tracer_obj = None
+    if trace_path:
+        tracer_obj = obs.Tracer()
+        previous = obs.set_tracer(tracer_obj)
+        root = tracer_obj.span(f"repro.{args.command}", cat="cli")
+        root.__enter__()
+    try:
+        yield
+    finally:
+        if tracer_obj is not None:
+            root.__exit__(None, None, None)
+            obs.set_tracer(previous)
+            tracer_obj.write(trace_path)
+            print(f"trace: {len(tracer_obj.events())} spans -> "
+                  f"{trace_path}", file=sys.stderr)
+        if metrics_path:
+            obs.write_snapshot(metrics_path)
+            print(f"metrics snapshot -> {metrics_path}", file=sys.stderr)
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -670,6 +780,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.action == "run":
+        config = bench.GridConfig.load(args.grid)
+
+        def progress(pos: int, total: int, key: str) -> None:
+            sys.stderr.write(f"[{pos + 1}/{total}] series {key}\n")
+            sys.stderr.flush()
+
+        trajectory = bench.run_grid(config, repeat=args.repeat,
+                                    progress=progress)
+        paths = bench.write_trajectory(trajectory, args.out_dir)
+        print(bench.render(trajectory))
+        print(f"trajectory -> {paths['json']}")
+        print(f"csv        -> {paths['csv']}")
+        return 0
+
+    # compare
+    current = bench.load_trajectory(args.current)
+    previous = bench.load_trajectory(args.against)
+    outcome = bench.compare(current, previous,
+                            threshold=args.threshold / 100.0)
+    print(outcome.render())
+    return 0 if outcome.ok else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        if args.action == "trace":
+            text = obs.summarize_events(obs.load_events(args.file))
+        else:
+            text = obs.load_snapshot(args.file).render()
+    except OSError as exc:
+        raise ConfigError(f"cannot read {args.file}: {exc}")
+    except ValueError as exc:
+        raise ConfigError(f"{args.file} is not a valid "
+                          f"{args.action} file: {exc}")
+    print(text)
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "figure": _cmd_figure,
@@ -678,13 +830,16 @@ _COMMANDS = {
     "check": _cmd_check,
     "list": _cmd_list,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        with _observed(args):
+            return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -25,6 +25,7 @@ from repro.api.spec import (
 )
 from repro.arch.config import MachineConfig
 from repro.errors import WorkloadError
+from repro.obs import trace
 from repro.sched.pipeline import compile_loop
 from repro.sim.executor import simulate
 from repro.workloads.catalog import Benchmark, LoopSpec, get_benchmark
@@ -104,17 +105,19 @@ def execute_spec(spec: RunSpec,
     compilation stages with every other spec run in this process.
     """
     machine = resolve_machine(spec)
-    return execute_benchmark(
-        spec.benchmark,
-        spec.variant_obj,
-        machine,
-        scale=spec.scale,
-        attraction=spec.attraction,
-        loop=spec.loop,
-        seeds=spec.seeds,
-        spec_key=spec.content_hash,
-        artifacts=artifacts,
-    )
+    with trace.span(f"spec:{spec.benchmark}/{spec.variant}", cat="spec",
+                    machine=spec.machine, spec_key=spec.content_hash):
+        return execute_benchmark(
+            spec.benchmark,
+            spec.variant_obj,
+            machine,
+            scale=spec.scale,
+            attraction=spec.attraction,
+            loop=spec.loop,
+            seeds=spec.seeds,
+            spec_key=spec.content_hash,
+            artifacts=artifacts,
+        )
 
 
 def execute_benchmark(
@@ -172,15 +175,16 @@ def _run_loop(
     # One frozen, keyed spec per (iterations, seed): its key is what lets
     # the profile stage hit the artifact store across the variant cross.
     profile = cached_trace_spec(PROFILE_ITERATIONS, seed=profile_seed)
-    compiled = compile_loop(
-        spec.ddg,
-        machine,
-        coherence=variant.coherence,
-        heuristic=variant.heuristic,
-        trace_factory=profile,
-        unroll_factor=spec.unroll,
-        artifacts=artifacts,
-    )
+    with trace.span(f"compile:{spec.name}", cat="compile"):
+        compiled = compile_loop(
+            spec.ddg,
+            machine,
+            coherence=variant.coherence,
+            heuristic=variant.heuristic,
+            trace_factory=profile,
+            unroll_factor=spec.unroll,
+            artifacts=artifacts,
+        )
     # spec.iterations counts *original* loop iterations; one kernel
     # iteration of the unrolled loop covers `unroll_factor` of them, so
     # every variant of a loop simulates the same amount of original work.
@@ -191,8 +195,11 @@ def _run_loop(
     if kernel_iters > natural_iters:
         iteration_floor = KERNEL_ITERATION_FLOOR
         _warn_iteration_floor(bench.name, spec.name, natural_iters)
-    execution = trace_factory(kernel_iters, seed=execute_seed)(compiled.ddg)
-    sim = simulate(compiled, execution, iterations=kernel_iters)
+    with trace.span(f"trace-gen:{spec.name}", cat="trace-gen"):
+        execution = trace_factory(kernel_iters,
+                                  seed=execute_seed)(compiled.ddg)
+    with trace.span(f"simulate:{spec.name}", cat="sim"):
+        sim = simulate(compiled, execution, iterations=kernel_iters)
     return LoopRecord(
         benchmark=bench.name,
         loop=spec.name,

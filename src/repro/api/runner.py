@@ -35,10 +35,12 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 import traceback as _tb
 import warnings
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -66,6 +68,7 @@ from repro.api.records import RunRecord
 from repro.api.spec import Plan, RunSpec
 from repro.api.store import ResultStore, default_store
 from repro.errors import ExecutionError
+from repro.obs import metrics, trace
 
 PlanLike = Union[Plan, Iterable[RunSpec]]
 
@@ -170,7 +173,7 @@ def _worker_init() -> None:
     suppress_floor_warning()
 
 
-def _worker_group(payload: Dict[str, object]) -> Dict[str, object]:
+def _worker_group(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Top-level (hence picklable) pool worker: one front-end group in,
     one result dict per spec out, so payloads cross process boundaries
     as pure JSON-able data.  Failures are captured per spec — a bad spec
@@ -180,6 +183,15 @@ def _worker_group(payload: Dict[str, object]) -> Dict[str, object]:
     artifacts on disk (shared with every other worker and process);
     without one it falls back to its process-local default store, which
     still makes sibling variants of the group warm for each other.
+
+    Observability: the task runs under a *captured* metrics registry
+    whose snapshot travels back in the result envelope — the parent
+    merges it on receipt, so artifact hit/miss counters, stage timings
+    and per-spec latencies survive the process boundary instead of
+    dying with the worker (the historical ``repro cache artifacts``
+    under-reporting bug).  With ``payload["trace"]`` the task also runs
+    under a private tracer whose spans ship back for wall-clock
+    re-basing into the parent trace.
     """
     root = payload.get("artifact_root")
     artifacts = (
@@ -187,16 +199,37 @@ def _worker_group(payload: Dict[str, object]) -> Dict[str, object]:
         if root else default_artifact_store()
     )
     results: List[Dict[str, object]] = []
-    for data, key in zip(payload["specs"], payload["keys"]):
-        spec = RunSpec.from_dict(data)
+    worker_tracer = trace.Tracer() if payload.get("trace") else None
+    metrics_enabled = bool(payload.get("metrics_enabled", True))
+    with metrics.capture(enabled=metrics_enabled) as reg:
+        previous_tracer = trace.set_tracer(worker_tracer)
         try:
-            record = execute_spec(spec, artifacts=artifacts)
-            results.append({"record": record.to_dict()})
-        except Exception as exc:
-            results.append({
-                "error": RunError.from_exception(spec, key, exc).to_dict()
-            })
-    return {"task": payload["task"], "results": results}
+            for data, key in zip(payload["specs"], payload["keys"]):
+                spec = RunSpec.from_dict(data)
+                start = time.perf_counter()
+                try:
+                    record = execute_spec(spec, artifacts=artifacts)
+                    results.append({"record": record.to_dict()})
+                except Exception as exc:
+                    results.append({
+                        "error": RunError.from_exception(
+                            spec, key, exc
+                        ).to_dict()
+                    })
+                elapsed = time.perf_counter() - start
+                reg.observe("runner.spec_seconds", elapsed, mode="parallel")
+                reg.inc("runner.worker_busy_seconds", elapsed)
+        finally:
+            trace.set_tracer(previous_tracer)
+    envelope: Dict[str, object] = {
+        "task": payload["task"],
+        "results": results,
+    }
+    if metrics_enabled:
+        envelope["metrics"] = reg.snapshot()
+    if worker_tracer is not None:
+        envelope["trace"] = worker_tracer.export()
+    return envelope
 
 
 class Runner:
@@ -332,6 +365,8 @@ class Runner:
             if key_indices[key][0] != i:
                 continue  # duplicate content hash: primary index covers it
             record = store.get(key)
+            metrics.inc("runner.store_lookups",
+                        outcome="miss" if record is None else "hit")
             if record is None:
                 misses.append(i)
                 continue
@@ -369,6 +404,7 @@ class Runner:
             # warm for each other; plan order is fine serially.
             artifacts = self.artifacts
             for pos, spec in enumerate(specs):
+                start = time.perf_counter()
                 try:
                     item: StreamItem = execute_spec(spec,
                                                     artifacts=artifacts)
@@ -376,6 +412,8 @@ class Runner:
                     item = RunError.from_exception(
                         spec, keys[misses[pos]], exc
                     )
+                metrics.observe("runner.spec_seconds",
+                                time.perf_counter() - start, mode="serial")
                 yield misses[pos], item
             return
 
@@ -404,6 +442,12 @@ class Runner:
         limit = self.max_inflight or 2 * workers
         inflight = threading.Semaphore(max(1, limit))
         abort = [False]
+        # Submitted-but-unconsumed task count, sampled into the
+        # ``runner.inflight`` histogram at every receive so the stream's
+        # effective queue depth (and thus backpressure behaviour) is
+        # visible after the fact.
+        depth_lock = threading.Lock()
+        depth = [0]
 
         def payloads() -> Iterator[Dict[str, object]]:
             # Runs in the pool's feeder thread: the semaphore keeps at
@@ -414,17 +458,41 @@ class Runner:
                 inflight.acquire()
                 if abort[0]:
                     return
+                with depth_lock:
+                    depth[0] += 1
                 yield {
                     "task": t,
                     "specs": [specs[i].to_dict() for i in indices],
                     "keys": [keys[misses[i]] for i in indices],
                     "artifact_root": artifact_root,
                     "artifact_version": artifact_version,
+                    "metrics_enabled": metrics.enabled(),
+                    "trace": trace.tracer() is not None,
                 }
 
+        reg = metrics.registry()
+        busy_before = reg.counter("runner.worker_busy_seconds")
+        stream_start = time.perf_counter()
         try:
             for reply in pool.imap_unordered(_worker_group, payloads()):
                 inflight.release()
+                with depth_lock:
+                    current = depth[0]
+                    depth[0] -= 1
+                metrics.observe("runner.inflight", current)
+                metrics.inc("runner.tasks")
+                snapshot = reply.get("metrics")
+                if snapshot:
+                    # Satellite-telemetry merge: fold the worker's
+                    # per-task metric deltas (artifact hits/misses,
+                    # stage timings, spec latencies...) into this
+                    # process's registry.
+                    reg.merge(snapshot)
+                exported = reply.get("trace")
+                if exported:
+                    parent_tracer = trace.tracer()
+                    if parent_tracer is not None:
+                        parent_tracer.absorb(exported)
                 for i, result in zip(tasks[reply["task"]],
                                      reply["results"]):
                     if "record" in result:
@@ -442,6 +510,13 @@ class Runner:
             # persistent pool stays usable for the next plan.
             abort[0] = True
             inflight.release()
+            wall = time.perf_counter() - stream_start
+            if wall > 0 and metrics.enabled():
+                busy = reg.counter("runner.worker_busy_seconds")
+                metrics.set_gauge(
+                    "runner.worker_utilization",
+                    (busy - busy_before) / (wall * workers),
+                )
 
     # ------------------------------------------------------------------
     @staticmethod

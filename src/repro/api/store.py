@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.api.records import RunRecord
+from repro.obs import metrics
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -164,22 +165,30 @@ class JsonFileStore:
         transient I/O failures are a miss, never a deletion.  Entries
         still sitting in a legacy flat layout are found via fallback.
         """
-        for path in self._candidate_paths(key):
-            envelope = self._read_payload(path)
-            if envelope is None:
-                continue
-            try:
-                stale = envelope.get("version") != self.version
-                payload = None if stale else envelope[self.PAYLOAD_FIELD]
-            except (AttributeError, KeyError, TypeError):
-                payload = None  # valid JSON of the wrong shape: a miss
-            if payload is None:
-                self._discard_entry(key, path)
-                continue
-            return payload
-        return None
+        with metrics.registry().time_block("store.read_seconds",
+                                           kind=self.PAYLOAD_FIELD):
+            for path in self._candidate_paths(key):
+                envelope = self._read_payload(path)
+                if envelope is None:
+                    continue
+                try:
+                    stale = envelope.get("version") != self.version
+                    payload = (None if stale
+                               else envelope[self.PAYLOAD_FIELD])
+                except (AttributeError, KeyError, TypeError):
+                    payload = None  # valid JSON of the wrong shape: a miss
+                if payload is None:
+                    self._discard_entry(key, path)
+                    continue
+                return payload
+            return None
 
     def put_payload(self, key: str, payload) -> None:
+        with metrics.registry().time_block("store.write_seconds",
+                                           kind=self.PAYLOAD_FIELD):
+            self._put_payload(key, payload)
+
+    def _put_payload(self, key: str, payload) -> None:
         target = self._path(key)
         target.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
@@ -292,12 +301,15 @@ class JsonFileStore:
             if cell is not None and cell.get("mtime") == dir_mtime:
                 continue
             entries: Dict[str, List[float]] = {}
-            for path in child.glob("*.json"):
-                try:
-                    st = path.stat()
-                except OSError:
-                    continue  # vanished between glob and stat
-                entries[path.stem] = [st.st_size, st.st_mtime]
+            with metrics.registry().time_block("store.scan_seconds",
+                                               kind=self.PAYLOAD_FIELD):
+                for path in child.glob("*.json"):
+                    try:
+                        st = path.stat()
+                    except OSError:
+                        continue  # vanished between glob and stat
+                    entries[path.stem] = [st.st_size, st.st_mtime]
+            metrics.inc("store.shard_rescans", kind=self.PAYLOAD_FIELD)
             index[name] = {"mtime": dir_mtime, "entries": entries}
             dirty = True
         if dirty:

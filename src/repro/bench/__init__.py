@@ -1,0 +1,38 @@
+"""`repro.bench` — seeded, config-driven benchmark grids with a
+persistent cross-PR perf trajectory (``BENCH_*.json`` + CSV).
+
+See ``docs/observability.md`` and the ``repro bench run/compare`` CLI
+verbs.
+"""
+
+from .compare import Comparison, DEFAULT_THRESHOLD, compare
+from .grid import (
+    BENCH_FILE_PREFIX,
+    BENCH_SCHEMA,
+    GridConfig,
+    GridSeries,
+    bench_paths,
+    load_trajectory,
+    render,
+    run_grid,
+    run_series,
+    to_csv,
+    write_trajectory,
+)
+
+__all__ = [
+    "BENCH_FILE_PREFIX",
+    "BENCH_SCHEMA",
+    "Comparison",
+    "DEFAULT_THRESHOLD",
+    "GridConfig",
+    "GridSeries",
+    "bench_paths",
+    "compare",
+    "load_trajectory",
+    "render",
+    "run_grid",
+    "run_series",
+    "to_csv",
+    "write_trajectory",
+]

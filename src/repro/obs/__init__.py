@@ -1,0 +1,58 @@
+"""`repro.obs` — unified observability: metrics registry + span tracing.
+
+See ``docs/observability.md`` for the full model.  Quick start::
+
+    from repro import obs
+
+    obs.inc("my.counter", stage="unroll", outcome="hit")
+    with obs.registry().time_block("my.seconds", stage="unroll"):
+        ...
+
+    tracer = obs.Tracer()
+    obs.set_tracer(tracer)
+    with obs.span("compile", cat="stage"):
+        ...
+    tracer.write("trace.json")   # open in https://ui.perfetto.dev
+"""
+
+from .metrics import (
+    HistogramData,
+    MetricsRegistry,
+    capture,
+    enabled,
+    inc,
+    load_snapshot,
+    observe,
+    registry,
+    set_gauge,
+    set_registry,
+    write_snapshot,
+)
+from .trace import (
+    Tracer,
+    load_events,
+    set_tracer,
+    span,
+    summarize_events,
+    tracer,
+)
+
+__all__ = [
+    "HistogramData",
+    "MetricsRegistry",
+    "Tracer",
+    "capture",
+    "enabled",
+    "inc",
+    "load_events",
+    "load_snapshot",
+    "observe",
+    "registry",
+    "set_gauge",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "summarize_events",
+    "tracer",
+    "write_snapshot",
+]

@@ -1,0 +1,275 @@
+"""Context-manager span tracing with Chrome trace-event export.
+
+A :class:`Tracer` collects *complete* spans — name, category, start,
+duration, nesting depth — measured with ``time.perf_counter`` so
+durations are monotonic.  Spans nest per thread: a span opened while
+another is active on the same thread records the parent's name, which
+is enough to reconstruct the tree without span IDs.
+
+Two export formats:
+
+* **Chrome trace events** (:meth:`Tracer.chrome_trace`): the
+  ``{"traceEvents": [...]}`` JSON object with ``ph: "X"`` complete
+  events that chrome://tracing and `Perfetto <https://ui.perfetto.dev>`_
+  load directly.  Timestamps/durations are microseconds.
+* **JSONL** (:meth:`Tracer.write_jsonl`): one span object per line for
+  ad-hoc grep/jq processing.  ``repro obs trace`` summarizes either.
+
+Cross-process collection: pool workers run each task under a private
+tracer and ship ``Tracer.export()`` back in the result envelope.  The
+parent re-bases worker timestamps via each tracer's recorded wall-clock
+origin (``time.time()`` at construction) — ``perf_counter`` origins are
+not comparable across processes, wall clocks on one host are — and tags
+the imported events with the worker's real pid so Perfetto renders one
+track per worker.
+
+When no tracer is installed, :func:`span` returns a shared no-op
+context manager: instrumentation left in the hot layers costs one
+global read and one ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+
+class Tracer:
+    """Collects spans for one process; thread-safe."""
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self.pid = os.getpid()
+        #: perf_counter value all span timestamps are relative to.
+        self.origin = time.perf_counter()
+        #: wall-clock time at ``origin`` — the cross-process re-basing
+        #: anchor (see module docstring).
+        self.wall_origin = time.time()
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._stacks: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, cat: str = "repro",
+             **args: object) -> Iterator[None]:
+        """Record the enclosed block as one complete span."""
+        tid = threading.get_ident()
+        stack = self._stacks.setdefault(tid, [])
+        parent = stack[-1] if stack else None
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            stack.pop()
+            event: Dict[str, Any] = {
+                "name": name,
+                "cat": cat,
+                "ts_us": (start - self.origin) * 1e6,
+                "dur_us": duration * 1e6,
+                "pid": self.pid,
+                "tid": tid,
+                "depth": len(stack),
+            }
+            if parent is not None:
+                event["parent"] = parent
+            if args:
+                event["args"] = {k: v for k, v in args.items()}
+            with self._lock:
+                self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def export(self) -> Dict[str, Any]:
+        """JSON-serializable image for shipping across processes."""
+        return {
+            "pid": self.pid,
+            "process_name": self.process_name,
+            "wall_origin": self.wall_origin,
+            "events": self.events(),
+        }
+
+    def absorb(self, exported: Dict[str, Any]) -> None:
+        """Fold a worker tracer's export into this one, re-basing its
+        timestamps onto this tracer's clock via the wall-clock origins."""
+        shift_us = (float(exported["wall_origin"]) - self.wall_origin) * 1e6
+        pid = int(exported.get("pid", 0))
+        absorbed = []
+        for event in exported.get("events", []):
+            copy = dict(event)
+            copy["ts_us"] = float(copy["ts_us"]) + shift_us
+            copy["pid"] = pid
+            absorbed.append(copy)
+        with self._lock:
+            self._events.extend(absorbed)
+
+    # ------------------------------------------------------------------
+    # Export formats
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Chrome trace-event JSON (Perfetto-loadable)."""
+        trace_events: List[Dict[str, Any]] = []
+        pids = set()
+        for event in self.events():
+            pids.add(event["pid"])
+            entry: Dict[str, Any] = {
+                "name": event["name"],
+                "cat": event["cat"],
+                "ph": "X",
+                "ts": round(float(event["ts_us"]), 3),
+                "dur": round(float(event["dur_us"]), 3),
+                "pid": event["pid"],
+                "tid": event["tid"],
+            }
+            args = dict(event.get("args") or {})
+            if event.get("parent") is not None:
+                args["parent"] = event["parent"]
+            if args:
+                entry["args"] = args
+            trace_events.append(entry)
+        for pid in sorted(pids):
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": (self.process_name if pid == self.pid
+                             else f"{self.process_name}-worker"),
+                },
+            })
+        return {"traceEvents": trace_events,
+                "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+
+    def write(self, path: str) -> None:
+        """Write Chrome format, or JSONL when ``path`` ends in .jsonl."""
+        if path.endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)
+
+
+# ----------------------------------------------------------------------
+# Loading / summarizing trace files (the ``repro obs trace`` verb)
+# ----------------------------------------------------------------------
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Read spans from either export format into the internal shape."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None  # more than one JSON document: the JSONL format
+    if not isinstance(data, dict):
+        return [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+    events = []
+    for entry in data.get("traceEvents", []):
+        if entry.get("ph") != "X":
+            continue
+        args = dict(entry.get("args") or {})
+        event: Dict[str, Any] = {
+            "name": entry["name"],
+            "cat": entry.get("cat", ""),
+            "ts_us": float(entry["ts"]),
+            "dur_us": float(entry["dur"]),
+            "pid": entry.get("pid", 0),
+            "tid": entry.get("tid", 0),
+        }
+        if "parent" in args:
+            event["parent"] = args.pop("parent")
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def summarize_events(events: List[Dict[str, Any]]) -> str:
+    """Per-category and per-name rollup of a span list."""
+    by_cat: Dict[str, List[float]] = {}
+    by_name: Dict[str, List[float]] = {}
+    for event in events:
+        dur = float(event["dur_us"]) / 1e6
+        by_cat.setdefault(str(event.get("cat", "")), []).append(dur)
+        by_name.setdefault(str(event["name"]), []).append(dur)
+    lines = [f"spans: {len(events)}"]
+    lines.append("by category:")
+    for cat in sorted(by_cat, key=lambda c: -sum(by_cat[c])):
+        durs = by_cat[cat]
+        lines.append(
+            f"  {cat:<12} count={len(durs):<6} total={sum(durs):.6f}s "
+            f"max={max(durs):.6f}s"
+        )
+    lines.append("top spans by total time:")
+    ranked = sorted(by_name.items(), key=lambda item: -sum(item[1]))
+    for name, durs in ranked[:15]:
+        lines.append(
+            f"  {name:<32} count={len(durs):<6} total={sum(durs):.6f}s"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-wide tracer
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the untraced path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def set_tracer(target: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear, with ``None``) the process tracer; returns
+    the previous one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = target
+    return previous
+
+
+def span(name: str, cat: str = "repro", **args: object):
+    """A span on the installed tracer, or a shared no-op when none is."""
+    if _TRACER is None:
+        return _NOOP
+    return _TRACER.span(name, cat, **args)

@@ -27,6 +27,7 @@ from repro.api.records import RunRecord
 from repro.api.runner import Runner, default_runner
 from repro.api.spec import Plan
 from repro.errors import WorkloadError
+from repro.obs import metrics, trace
 from repro.scenarios.generator import (
     FAMILIES,
     ScenarioParams,
@@ -282,10 +283,15 @@ def run_sweep(
     if not scenarios:
         raise WorkloadError("differential sweep needs at least one scenario")
     plan = sweep_plan(scenarios, machines, variants, scale)
-    records = (runner or default_runner()).run(
-        plan, journal=journal, progress=progress
-    )
-    result = summarize(records)
+    with trace.span("sweep", cat="sweep", scenarios=len(scenarios),
+                    runs=len(plan)):
+        records = (runner or default_runner()).run(
+            plan, journal=journal, progress=progress
+        )
+        result = summarize(records)
+    metrics.inc("sweep.runs", len(records))
+    if result.anomalies:
+        metrics.inc("sweep.anomalies", len(result.anomalies))
     result.plan = plan
     result.scenarios = list(scenarios)
     return result

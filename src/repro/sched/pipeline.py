@@ -17,6 +17,13 @@
 Stages 1–3 (the *front end*) are variant-independent; pass an artifact
 store (see :mod:`repro.api.artifacts`) to share them across the
 coherence × heuristic cross instead of recomputing them per variant.
+
+Every stage execution is observable: counts and wall time land in the
+process metrics registry (``stages.executed`` / ``stages.seconds``,
+including the ``check`` verification passes) and, when a tracer is
+installed, each stage and artifact interaction becomes a span nested
+under ``compile:<loop>`` — see :mod:`repro.obs` and
+``docs/observability.md``.
 """
 
 from __future__ import annotations

@@ -46,6 +46,7 @@ from repro.arch.config import MachineConfig
 from repro.errors import SchedulingError
 from repro.hashing import digest
 from repro.ir.ddg import Ddg
+from repro.obs import metrics, trace
 from repro.ir.unroll import locality_unroll_factor, unroll
 from repro.ir.verify import verify_ddg
 from repro.sched.cluster import (
@@ -127,12 +128,17 @@ STAGE_BY_NAME: Dict[str, StageDef] = {s.name: s for s in PIPELINE_STAGES}
 # ----------------------------------------------------------------------
 @dataclass
 class StageCounters:
-    """Process-wide stage execution counts and wall-clock time.
+    """Snapshot of stage execution counts and wall-clock time.
 
     ``executed`` counts actual computations; an artifact hit does not
     execute the stage, which is exactly the signal the pipeline
     benchmarks assert on (a grouped 6-variant sweep must execute each
     front-end stage once, not six times).
+
+    Since the `repro.obs` migration this is a *view* built by
+    :func:`stage_counters` from the process metrics registry
+    (``stages.executed`` / ``stages.seconds``, labeled by stage) —
+    fetch it after the work you want to measure.
     """
 
     executed: Dict[str, int] = field(default_factory=dict)
@@ -155,32 +161,42 @@ class StageCounters:
         return self.elapsed(FRONTEND_STAGES)
 
 
-_COUNTERS = StageCounters()
-
-
 def stage_counters() -> StageCounters:
-    """The live process-wide counters."""
-    return _COUNTERS
+    """Current stage counters, read out of the metrics registry."""
+    counters = StageCounters()
+    reg = metrics.registry()
+    for labels, value in reg.counter_items("stages.executed"):
+        stage = labels.get("stage", "")
+        counters.executed[stage] = counters.executed.get(stage, 0) + int(value)
+    for labels, value in reg.counter_items("stages.seconds"):
+        stage = labels.get("stage", "")
+        counters.seconds[stage] = counters.seconds.get(stage, 0.0) + value
+    return counters
 
 
 def reset_stage_counters() -> None:
-    """Zero the process-wide counters (tests and benchmarks)."""
-    global _COUNTERS
-    _COUNTERS = StageCounters()
+    """Zero the stage metrics (tests and benchmarks)."""
+    metrics.registry().reset("stages.")
 
 
 class _timed:
-    """Context manager crediting a stage execution to the counters."""
+    """Context manager crediting a stage execution to the registry and
+    recording the execution as a trace span (cat ``stage``)."""
 
     def __init__(self, stage: str) -> None:
         self.stage = stage
+        self._span = trace.span(stage, cat="stage")
 
     def __enter__(self):
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc):
-        _COUNTERS.note(self.stage, time.perf_counter() - self._start)
+        elapsed = time.perf_counter() - self._start
+        metrics.inc("stages.executed", stage=self.stage)
+        metrics.inc("stages.seconds", elapsed, stage=self.stage)
+        self._span.__exit__(*exc)
         return False
 
 
@@ -400,36 +416,47 @@ def _frontend(
     artifact was verified by whoever produced it.
     """
     # -- unroll --------------------------------------------------------
-    k_unroll = unroll_key(ddg, machine, unroll_factor)
+    with trace.span("artifact.key", cat="artifact", stage="unroll"):
+        k_unroll = unroll_key(ddg, machine, unroll_factor)
     cached = artifacts.get(k_unroll) if artifacts is not None else None
     if cached is not None:
-        work = Ddg.from_dict(cached["ddg"])
+        with trace.span("artifact.replay", cat="artifact", stage="unroll"):
+            work = Ddg.from_dict(cached["ddg"])
         factor = cached["factor"]
     else:
         with _timed("unroll"):
             work, factor = run_unroll(ddg, machine, unroll_factor)
         if artifacts is not None:
-            payload = work.to_dict()
-            text = artifacts.put(k_unroll,
-                                 {"ddg": payload, "factor": factor})
-            work = (Ddg.from_dict(json.loads(text)["ddg"])
-                    if isinstance(text, str) else _replayed(payload))
+            with trace.span("artifact.record", cat="artifact",
+                            stage="unroll"):
+                payload = work.to_dict()
+                text = artifacts.put(k_unroll,
+                                     {"ddg": payload, "factor": factor})
+                work = (Ddg.from_dict(json.loads(text)["ddg"])
+                        if isinstance(text, str) else _replayed(payload))
 
     # -- disambiguate --------------------------------------------------
-    k_disamb = disambiguate_key(k_unroll, add_mem_deps)
+    with trace.span("artifact.key", cat="artifact",
+                    stage="disambiguate"):
+        k_disamb = disambiguate_key(k_unroll, add_mem_deps)
     cached = artifacts.get(k_disamb) if artifacts is not None else None
     if cached is not None:
-        work = Ddg.from_dict(cached["ddg"])
+        with trace.span("artifact.replay", cat="artifact",
+                        stage="disambiguate"):
+            work = Ddg.from_dict(cached["ddg"])
     else:
         with _timed("disambiguate"):
             work = run_disambiguate(work, add_mem_deps)
         if check:
-            verify_ddg(work, machine)
+            with _timed("check"):
+                verify_ddg(work, machine)
         if artifacts is not None:
-            payload = work.to_dict()
-            text = artifacts.put(k_disamb, {"ddg": payload})
-            work = (Ddg.from_dict(json.loads(text)["ddg"])
-                    if isinstance(text, str) else _replayed(payload))
+            with trace.span("artifact.record", cat="artifact",
+                            stage="disambiguate"):
+                payload = work.to_dict()
+                text = artifacts.put(k_disamb, {"ddg": payload})
+                work = (Ddg.from_dict(json.loads(text)["ddg"])
+                        if isinstance(text, str) else _replayed(payload))
 
     # -- profile -------------------------------------------------------
     if profiles is None and trace_factory is not None:
@@ -443,7 +470,9 @@ def _frontend(
             if artifacts is not None and k_profile is not None else None
         )
         if cached is not None:
-            profiles = _profiles_from_payload(cached["profiles"])
+            with trace.span("artifact.replay", cat="artifact",
+                            stage="profile"):
+                profiles = _profiles_from_payload(cached["profiles"])
         else:
             with _timed("profile"):
                 profiles = run_profile(
@@ -499,14 +528,16 @@ def execute_pipeline(
             )
         profiles = {}
 
-    source = work.clone()
+    with trace.span("clone", cat="glue"):
+        source = work.clone()
 
     with _timed("coherence"):
         work, mdc_result, ddgt_result = run_coherence(
             work, machine, coherence, profiles
         )
     if check:
-        verify_ddg(work, machine)
+        with _timed("check"):
+            verify_ddg(work, machine)
 
     with _timed("assign"):
         assignment = run_assign(work, machine, heuristic, profiles,
@@ -523,7 +554,8 @@ def execute_pipeline(
             )
 
     if check:
-        schedule.validate()
+        with _timed("check"):
+            schedule.validate()
 
     result = CompilationResult(
         schedule=schedule,

@@ -59,6 +59,10 @@ class BusFabric:
         self._rr_start = 0
         self.transfers = 0
         self.queued_cycles = 0  # total cycles messages spent waiting
+        #: cycles each physical bus spent occupied by a transfer —
+        #: per-bus occupancy for the observability layer (diagnostic;
+        #: never serialized into run records)
+        self.busy_cycles: List[int] = [0] * config.count
 
     # ------------------------------------------------------------------
     def send(self, message: BusMessage) -> None:
@@ -144,6 +148,7 @@ class BusFabric:
             self._queued -= 1
             bus = free.pop()
             self._bus_free_at[bus] = cycle + self.config.latency
+            self.busy_cycles[bus] += self.config.latency
             arrival = cycle + self.config.latency
             self._in_flight.setdefault(arrival, []).append(message)
             self.transfers += 1

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.alias.profiles import TraceLike
 from repro.errors import SimulationError
 from repro.ir.edges import DepKind
+from repro.obs import metrics
 from repro.sched.pipeline import CompilationResult
 from repro.sim.coherence import CoherenceChecker, ViolationCounts
 from repro.sim.memory import MemorySystem
@@ -156,6 +157,13 @@ def simulate(
 
     if flush_abs:
         memory.flush_attraction_buffers()
+
+    # One registry publication per run (never per cycle): engine counters
+    # incl. the event-skipping diagnostics, plus per-bus occupancy.
+    if metrics.enabled():
+        stats.publish(engine)
+        for bus, busy in enumerate(memory.fabric.busy_cycles):
+            metrics.inc("sim.bus_busy_cycles", busy, engine=engine, bus=bus)
 
     return SimulationResult(
         stats=stats,

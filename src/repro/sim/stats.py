@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.obs import metrics
+
 
 class AccessType(enum.Enum):
     LOCAL_HIT = "local_hit"
@@ -114,6 +116,34 @@ class SimStats:
         for name in _COUNTER_FIELDS + _DIAGNOSTIC_FIELDS:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
+
+    def publish(self, engine: str) -> None:
+        """Surface this run's counters through the metrics registry.
+
+        Called once per :func:`~repro.sim.executor.simulate` run — never
+        inside the cycle loop — so the simulator's contribution to the
+        observability layer is O(runs), not O(cycles).  Unlike
+        :meth:`to_dict`, this *does* include the event-skipping engine's
+        diagnostic counters (``_DIAGNOSTIC_FIELDS``): the registry is
+        labeled by engine, so engine-dependent numbers are fine here
+        even though they must stay out of serialized records.
+        """
+        reg = metrics.registry()
+        if not reg.enabled:
+            return
+        reg.inc("sim.runs", engine=engine)
+        reg.inc("sim.cycles", self.compute_cycles,
+                engine=engine, kind="compute")
+        reg.inc("sim.cycles", self.stall_cycles,
+                engine=engine, kind="stall")
+        for kind, count in self.accesses.items():
+            if count:
+                reg.inc("sim.accesses", count, engine=engine,
+                        type=kind.value)
+        for name in _COUNTER_FIELDS[2:] + _DIAGNOSTIC_FIELDS:
+            value = getattr(self, name)
+            if value:
+                reg.inc(f"sim.{name}", value, engine=engine)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the ``repro.api`` ResultStore)."""

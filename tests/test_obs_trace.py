@@ -1,0 +1,143 @@
+"""`repro.obs.trace`: span nesting, export formats, cross-process absorb."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import Tracer, load_events, summarize_events
+
+
+@pytest.fixture
+def clean_tracer():
+    """Install a fresh tracer for the test; restore whatever was there."""
+    tracer = Tracer()
+    previous = trace.set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        trace.set_tracer(previous)
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self, clean_tracer):
+        with clean_tracer.span("outer", cat="a"):
+            with clean_tracer.span("inner", cat="b", key="v"):
+                pass
+        events = {e["name"]: e for e in clean_tracer.events()}
+        assert events["inner"]["parent"] == "outer"
+        assert events["inner"]["depth"] == 1
+        assert events["inner"]["args"] == {"key": "v"}
+        assert "parent" not in events["outer"]
+        assert events["outer"]["depth"] == 0
+        # Children complete before parents, and fit inside them.
+        inner, outer = events["inner"], events["outer"]
+        assert inner["ts_us"] >= outer["ts_us"]
+        assert (inner["ts_us"] + inner["dur_us"]
+                <= outer["ts_us"] + outer["dur_us"] + 1.0)
+
+    def test_span_records_even_when_the_block_raises(self, clean_tracer):
+        with pytest.raises(ValueError):
+            with clean_tracer.span("failing"):
+                raise ValueError("boom")
+        assert [e["name"] for e in clean_tracer.events()] == ["failing"]
+        # The stack unwound: a new span is a root again.
+        with clean_tracer.span("after"):
+            pass
+        assert "parent" not in clean_tracer.events()[-1]
+
+    def test_module_span_is_noop_without_a_tracer(self):
+        previous = trace.set_tracer(None)
+        try:
+            with trace.span("ignored", cat="x"):
+                pass
+            assert trace.span("a") is trace.span("b")
+        finally:
+            trace.set_tracer(previous)
+
+
+class TestExportFormats:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("root", cat="cli"):
+            with tracer.span("child", cat="stage", stage="mdc"):
+                pass
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        tracer = self._traced()
+        doc = tracer.chrome_trace()
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        meta = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        assert {e["name"] for e in complete} == {"root", "child"}
+        assert meta and meta[0]["name"] == "process_name"
+        assert doc["displayTimeUnit"] == "ms"
+        # Perfetto requires numeric ts/dur on complete events.
+        for event in complete:
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+
+    @pytest.mark.parametrize("suffix", ["json", "jsonl"])
+    def test_write_then_load_events_round_trips(self, tmp_path, suffix):
+        tracer = self._traced()
+        path = tmp_path / f"trace.{suffix}"
+        tracer.write(str(path))
+        events = load_events(str(path))
+        by_name = {e["name"]: e for e in events}
+        assert set(by_name) == {"root", "child"}
+        assert by_name["child"]["parent"] == "root"
+        assert by_name["child"]["args"]["stage"] == "mdc"
+        want = {e["name"]: e for e in tracer.events()}
+        for name, event in by_name.items():
+            assert event["dur_us"] == pytest.approx(
+                want[name]["dur_us"], abs=1e-3)
+
+    def test_summarize_events_rolls_up(self):
+        tracer = self._traced()
+        text = summarize_events(tracer.events())
+        assert "spans: 2" in text
+        assert "cli" in text and "stage" in text
+        assert "root" in text and "child" in text
+
+
+class TestAbsorb:
+    def test_absorb_rebases_onto_the_parent_wall_clock(self):
+        parent = Tracer()
+        exported = {
+            "pid": 4242,
+            "process_name": "repro",
+            # The worker started exactly 1s after the parent.
+            "wall_origin": parent.wall_origin + 1.0,
+            "events": [{
+                "name": "spec:x/y", "cat": "spec",
+                "ts_us": 10.0, "dur_us": 5.0,
+                "pid": 4242, "tid": 1, "depth": 0,
+            }],
+        }
+        parent.absorb(exported)
+        event = parent.events()[0]
+        assert event["ts_us"] == pytest.approx(1e6 + 10.0)
+        assert event["pid"] == 4242
+
+    def test_worker_pids_get_their_own_process_track(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        parent.absorb({"pid": 4242, "wall_origin": parent.wall_origin,
+                       "events": [{"name": "remote", "cat": "spec",
+                                   "ts_us": 0.0, "dur_us": 1.0,
+                                   "pid": 4242, "tid": 1, "depth": 0}]})
+        meta = {e["pid"]: e["args"]["name"]
+                for e in parent.chrome_trace()["traceEvents"]
+                if e.get("ph") == "M"}
+        assert meta[parent.pid] == "repro"
+        assert meta[4242] == "repro-worker"
+
+    def test_export_absorb_round_trip(self):
+        worker = Tracer()
+        with worker.span("work", cat="spec"):
+            pass
+        shipped = json.loads(json.dumps(worker.export()))
+        parent = Tracer()
+        parent.absorb(shipped)
+        assert [e["name"] for e in parent.events()] == ["work"]
