@@ -1,0 +1,133 @@
+"""Benchmark: batched lockstep simulation vs per-run event simulation.
+
+Co-simulates a 64-scenario mixed-family batch (alternating baseline and
+slow-memory machines, so batches mix fast and stall-heavy runs) through
+``repro.sim.batch`` and compares aggregate scenarios/sec against running
+the same 64 simulations one at a time with ``engine="events"``.
+
+Three asserts, in order:
+
+1. **equivalence** — every batched run's ``SimStats.to_dict()`` is
+   byte-identical to its per-run events twin (the speedup is worthless
+   otherwise);
+2. **mechanism** — the batch diagnostics prove runs actually shared a
+   process-wide lockstep loop (``batch_size`` recorded, ``batch_steps``
+   positive and bounded by the run's own cycle count) and stay out of
+   the serialized stats;
+3. **speedup** — best-of-``REPS`` aggregate throughput is at least
+   ``MIN_SPEEDUP``x (3x locally, relaxed to 2x under CI where shared
+   runners are noisy).
+
+Run:  PYTHONPATH=src python benchmarks/bench_sim_batch.py
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.arch import BASELINE_CONFIG
+from repro.arch.config import parse_config_name
+from repro.scenarios import build_scenario_ddg, sample_scenarios
+from repro.sched import CoherenceMode, Heuristic, compile_loop
+from repro.sim import simulate
+from repro.sim.batch import simulate_batch
+from repro.workloads import trace_factory
+
+N_SCENARIOS = 64
+ITERATIONS = 400
+BATCH_SIZE = 64
+#: Timing reps (best-of); 1 under CI to keep the smoke step fast.
+REPS = 1 if os.environ.get("CI") else 2
+MIN_SPEEDUP = 2.0 if os.environ.get("CI") else 3.0
+
+SLOWMEM = parse_config_name("gen-c4-mb1x8-rb4x2-cm512b32a2-nl60p2")
+
+
+def build_workloads():
+    """64 compiled (compilation, trace) pairs over mixed families."""
+    workloads = []
+    for pos, params in enumerate(sample_scenarios(9, N_SCENARIOS)):
+        machine = BASELINE_CONFIG if pos % 2 == 0 else SLOWMEM
+        ddg = build_scenario_ddg(params)
+        compiled = compile_loop(
+            ddg, machine,
+            coherence=CoherenceMode.NONE if pos % 3 else CoherenceMode.MDC,
+            heuristic=Heuristic.MINCOMS if pos % 2 else Heuristic.PREFCLUS,
+            trace_factory=trace_factory(64, seed=5),
+            profile_iterations=64,
+        )
+        trc = trace_factory(ITERATIONS, seed=7)(compiled.ddg)
+        workloads.append((compiled, trc))
+    return workloads
+
+
+def run_events(workloads):
+    return [
+        simulate(compiled, trc, iterations=ITERATIONS,
+                 check_coherence=False)
+        for compiled, trc in workloads
+    ]
+
+
+def run_batch(workloads):
+    return simulate_batch(
+        workloads, iterations=ITERATIONS, check_coherence=False,
+        batch_size=BATCH_SIZE,
+    )
+
+
+def test_batched_engine_beats_per_run_events():
+    workloads = build_workloads()
+
+    # -- 1. equivalence (untimed warm-up pass doubles as the check) ----
+    events = run_events(workloads)
+    batched = run_batch(workloads)
+    for pos, (ev, ba) in enumerate(zip(events, batched)):
+        left = json.dumps(ev.stats.to_dict(), sort_keys=True)
+        right = json.dumps(ba.stats.to_dict(), sort_keys=True)
+        assert left == right, (
+            f"run {pos}: batched stats diverge from engine='events'\n"
+            f"  events: {left}\n  batch:  {right}"
+        )
+
+    # -- 2. mechanism ---------------------------------------------------
+    for pos, ba in enumerate(batched):
+        assert ba.stats.batch_size == BATCH_SIZE, (
+            f"run {pos}: batch_size diagnostic is {ba.stats.batch_size}, "
+            f"expected {BATCH_SIZE}"
+        )
+        assert 0 < ba.stats.batch_steps <= ba.stats.total_cycles, (
+            f"run {pos}: batch_steps={ba.stats.batch_steps} outside "
+            f"(0, total_cycles={ba.stats.total_cycles}]"
+        )
+        assert "batch_size" not in ba.stats.to_dict(), (
+            "batch diagnostics must not leak into serialized stats"
+        )
+
+    # -- 3. speedup (best-of-REPS on both sides) ------------------------
+    events_wall = min(_timed(run_events, workloads) for _ in range(REPS))
+    batch_wall = min(_timed(run_batch, workloads) for _ in range(REPS))
+    speedup = events_wall / batch_wall
+    print(f"bench_sim_batch: {N_SCENARIOS} scenarios x {ITERATIONS} iters")
+    print(f"  events: {events_wall:.3f}s  "
+          f"({N_SCENARIOS / events_wall:.1f} scenarios/s)")
+    print(f"  batch:  {batch_wall:.3f}s  "
+          f"({N_SCENARIOS / batch_wall:.1f} scenarios/s)")
+    print(f"  speedup: {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP:.1f}x floor"
+    )
+    print("bench_sim_batch: OK")
+
+
+def _timed(fn, workloads) -> float:
+    start = time.perf_counter()
+    fn(workloads)
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    test_batched_engine_beats_per_run_events()
+    sys.exit(0)

@@ -50,6 +50,7 @@ from repro.errors import WorkloadError
 from repro.hashing import digest
 from repro.obs import metrics, trace
 from repro.sched.stages import FRONTEND_STAGES
+from repro.sim.executor import ENGINES
 
 #: Trajectory files are ``BENCH_<grid name>.json`` at the output root.
 BENCH_FILE_PREFIX = "BENCH_"
@@ -71,7 +72,14 @@ DETERMINISTIC_FIELDS = ("specs", "total_cycles", "issued_ops",
 
 @dataclass(frozen=True)
 class GridSeries:
-    """One tracked series of a grid config."""
+    """One tracked series of a grid config.
+
+    ``engine`` selects the simulation engine the series measures
+    (``"events"``, ``"cycles"``, or ``"batch"``); engines are
+    observation-equivalent, so two series differing only in ``engine``
+    must produce the same ``records_digest`` — which makes a paired
+    events/batch series a persistent, committed equivalence check.
+    """
 
     key: str
     benchmarks: Sequence[str]
@@ -79,6 +87,8 @@ class GridSeries:
     machines: Sequence[str]
     scale: float
     loop: Optional[str] = None
+    engine: str = "events"
+    batch_size: Optional[int] = None
 
     def plan(self) -> Plan:
         return Plan.grid(
@@ -143,6 +153,20 @@ class GridConfig:
                         sampler.get("families"),
                     )
                 ]
+            engine = str(entry.get("engine", "events"))
+            if engine not in ENGINES:
+                raise WorkloadError(
+                    f"series {key!r} names unknown engine {engine!r}; "
+                    f"expected one of {ENGINES}"
+                )
+            batch_size = entry.get("batch_size")
+            if batch_size is not None:
+                batch_size = int(batch_size)
+                if batch_size < 1:
+                    raise WorkloadError(
+                        f"series {key!r}: batch_size must be >= 1, "
+                        f"got {batch_size}"
+                    )
             series.append(GridSeries(
                 key=key,
                 benchmarks=[str(b) for b in benchmarks],
@@ -152,6 +176,8 @@ class GridConfig:
                     "machines", ["baseline"])],
                 scale=float(entry.get("scale", default_scale)),
                 loop=entry.get("loop"),
+                engine=engine,
+                batch_size=batch_size,
             ))
         seen: Dict[str, int] = {}
         for s in series:
@@ -182,8 +208,13 @@ def _frontend_seconds_now() -> float:
     return total
 
 
-def run_series(series: GridSeries, repeat: int) -> Dict[str, Any]:
-    """Execute one series ``repeat`` times cold; median-walled result."""
+def run_series(series: GridSeries, repeat: int,
+               engine: Optional[str] = None) -> Dict[str, Any]:
+    """Execute one series ``repeat`` times cold; median-walled result.
+
+    ``engine`` (when given) overrides the series' own engine — the
+    ``repro bench run --engine`` escape hatch for ad-hoc comparisons.
+    """
     plan = series.plan()
     walls: List[float] = []
     records: List[RunRecord] = []
@@ -193,7 +224,9 @@ def run_series(series: GridSeries, repeat: int) -> Dict[str, Any]:
         # carry-over, so every repeat pays the full compile+simulate
         # cost the series claims to measure.
         runner = Runner(store=MemoryStore(),
-                        artifacts=MemoryArtifactStore())
+                        artifacts=MemoryArtifactStore(),
+                        engine=engine or series.engine,
+                        batch_size=series.batch_size)
         frontend_before = _frontend_seconds_now()
         start = time.perf_counter()
         with trace.span(f"bench:{series.key}", cat="bench"):
@@ -221,14 +254,23 @@ def run_series(series: GridSeries, repeat: int) -> Dict[str, Any]:
 
 def run_grid(config: GridConfig,
              repeat: Optional[int] = None,
-             progress=None) -> Dict[str, Any]:
-    """Run every series of a grid; returns the trajectory payload."""
+             progress=None,
+             engine: Optional[str] = None) -> Dict[str, Any]:
+    """Run every series of a grid; returns the trajectory payload.
+
+    ``engine`` forces every series onto one simulation engine (the
+    per-series ``engine`` field is the committed default).
+    """
     repeat = config.repeat if repeat is None else max(1, repeat)
+    if engine is not None and engine not in ENGINES:
+        raise WorkloadError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
     results: Dict[str, Any] = {}
     for pos, series in enumerate(config.series):
         if progress is not None:
             progress(pos, len(config.series), series.key)
-        results[series.key] = run_series(series, repeat)
+        results[series.key] = run_series(series, repeat, engine=engine)
         metrics.inc("bench.series_runs", grid=config.name)
     from repro import __version__
     return {

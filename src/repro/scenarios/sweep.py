@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.api.records import RunRecord
-from repro.api.runner import Runner, default_runner
+from repro.api.runner import Runner
 from repro.api.spec import Plan
 from repro.errors import WorkloadError
 from repro.obs import metrics, trace
@@ -264,6 +264,8 @@ def run_sweep(
     runner: Optional[Runner] = None,
     journal=None,
     progress=None,
+    engine: str = "events",
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Sample (or take) scenarios, run the differential grid, cross-check.
 
@@ -275,6 +277,12 @@ def run_sweep(
     ``journal`` (:class:`~repro.api.journal.RunJournal`) checkpoints the
     sweep so a killed run resumes — against the on-disk store — without
     re-executing completed groups.
+
+    ``engine`` picks the simulation engine for store misses (records are
+    engine-independent, so mixed-engine sweeps stay coherent);
+    ``engine="batch"`` co-simulates misses in chunks of ``batch_size``.
+    Both configure the internally-built runner; an explicitly passed
+    ``runner`` is reconfigured only when they are non-default.
     """
     if scenarios is None:
         scenarios = [
@@ -282,12 +290,19 @@ def run_sweep(
         ]
     if not scenarios:
         raise WorkloadError("differential sweep needs at least one scenario")
+    if runner is None:
+        runner = Runner(store=None, engine=engine, batch_size=batch_size)
+    elif engine != "events" or batch_size is not None:
+        # Route this sweep's misses through the requested engine; reuse
+        # Runner's own validation.
+        Runner(engine=engine, batch_size=batch_size)
+        runner.engine = engine
+        if batch_size is not None:
+            runner.batch_size = batch_size
     plan = sweep_plan(scenarios, machines, variants, scale)
     with trace.span("sweep", cat="sweep", scenarios=len(scenarios),
                     runs=len(plan)):
-        records = (runner or default_runner()).run(
-            plan, journal=journal, progress=progress
-        )
+        records = runner.run(plan, journal=journal, progress=progress)
         result = summarize(records)
     metrics.inc("sweep.runs", len(records))
     if result.anomalies:

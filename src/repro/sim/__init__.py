@@ -26,6 +26,11 @@ from repro.sim.stats import AccessType, SimStats
 from repro.sim.coherence import CoherenceChecker
 from repro.sim.memory import MemorySystem
 from repro.sim.executor import ENGINES, SimulationResult, simulate
+from repro.sim.batch import (
+    DEFAULT_BATCH_SIZE,
+    BatchSimulator,
+    simulate_batch,
+)
 
 __all__ = [
     "home_cluster",
@@ -38,4 +43,7 @@ __all__ = [
     "ENGINES",
     "SimulationResult",
     "simulate",
+    "DEFAULT_BATCH_SIZE",
+    "BatchSimulator",
+    "simulate_batch",
 ]

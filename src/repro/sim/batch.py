@@ -1,0 +1,533 @@
+"""Batched lockstep simulation: many independent runs per process.
+
+:class:`BatchSimulator` co-schedules N compiled runs in one process.
+Each run is driven by a *stepper* — a generator that executes the run's
+modulo schedule against its own :class:`~repro.sim.memory.MemorySystem`
+and yields (parks) whenever it fast-forwards across a long stalled or
+drain window.  A single shared event heap keyed by
+``(next_event_cycle, run_id)`` always resumes the run with the nearest
+pending event, so the batch advances in lockstep over *simulated* time
+and every Python-level step goes to whichever run has work.
+
+Cross-run scheduler state is struct-of-arrays: per-run cycle counters,
+kernel indexes and step counts live in parallel arrays indexed by run
+id (see :meth:`BatchSimulator.snapshot`), while each run's micro-state
+(in-flight load maps, bus queues) stays inside its stepper frame — a
+generator resumption restores all of it in one C-level jump with no
+explicit state save/load.
+
+Where the speedup comes from
+----------------------------
+
+The runs are independent, so lockstep alone wins nothing; the batch
+engine's ≥3x aggregate throughput over per-run ``engine="events"``
+(``benchmarks/bench_sim_batch.py``) comes from the flattened per-run
+stepper of :mod:`repro.sim.flatmem`.  Profiling mixed scenario batches
+shows ~80% of the events engine's wall time inside the memory
+subsystem's object protocol — dataclass message allocation, delivery
+closures, and deep method chains on every access — so the flat stepper
+executes the identical protocol over tuple messages and plain
+containers held in generator locals: steady-state dispatch tables
+replace the per-index due-op build, tick pairs reduce to truthiness
+checks on flat dicts/deques, and all stat counters accumulate in local
+integers flushed once per run.
+
+Everything with observable semantics — issue order inside a slot, bus
+arbitration and delivery order, MSHR action replay, the stall loop's
+event-to-event jumps, watchdog bounds and error strings, drain
+low-water anchoring, completion-map pruning — replicates
+``_run_event_skipping`` + ``MemorySystem`` exactly, so each run's
+serialized record stays byte-identical to ``engine="events"`` (pinned
+by the golden suite and the differential cross in
+``tests/test_sim_batch.py``).  When the executor's ``MemorySystem``
+has been substituted (fault-injecting test doubles), a compatibility
+stepper that mirrors the events engine verbatim — same method calls on
+the real memory object — is used instead, so the equivalence holds by
+construction there too.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.alias.profiles import TraceLike
+from repro.errors import SimulationError
+from repro.obs import metrics, trace
+from repro.sched.pipeline import CompilationResult
+from repro.sim import executor as _executor
+from repro.sim.coherence import CoherenceChecker
+from repro.sim.executor import (
+    SimulationResult,
+    _all_ready,
+    _due_ops,
+    _fastpath_tables,
+    _issue,
+    _next_prune_after,
+    _prepare,
+)
+from repro.sim.flatmem import PARK_MIN_JUMP, flat_stepper
+from repro.sim.memory import MemorySystem
+from repro.sim.stats import SimStats
+
+#: Default number of runs co-scheduled per process.
+DEFAULT_BATCH_SIZE = 64
+
+_DRAIN_ERROR = (
+    "memory system failed to drain: no progress for "
+    "{watchdog} cycles after the last issue"
+)
+
+
+def _stepper_compat(
+    schedule, n_iter, total_indexes, ops_by_slot, completions,
+    trc, memory, stats, soa_cycles, soa_indexes, run_id,
+):
+    """Events-engine-verbatim stepper for subclassed memory systems.
+
+    Used when the memory system overrides any of the driving methods
+    (test doubles like the watchdog fault injectors) or carries a
+    protocol trace hook: the fast stepper's inlined tick pairs would
+    bypass the overrides.  This is ``_run_event_skipping`` line for
+    line, plus parks at the same fast-forward points as the fast
+    stepper, so the observable behavior is trivially identical.
+    """
+    ii = schedule.ii
+    length = schedule.length
+    watchdog = _executor.STALL_WATCHDOG
+    prune_interval = _executor._PRUNE_INTERVAL
+    prune = _executor._prune
+    index = 0
+    cycle = 0
+    stall_streak = 0
+    drain_low_water = float("inf")
+    drain_anchor = 0
+    next_prune = prune_interval
+
+    (
+        run_len, all_clean, count_prefix, ops_per_ii, steady_lo, steady_hi,
+    ) = _fastpath_tables(ops_by_slot, ii, n_iter, total_indexes)
+
+    while index < total_indexes or not memory.quiescent():
+        if index >= total_indexes:
+            memory.tick_begin(cycle)
+            pending = memory.pending_work()
+            if pending < drain_low_water:
+                drain_low_water = pending
+                drain_anchor = cycle
+            memory.tick_end(cycle)
+            cycle += 1
+            if cycle - drain_anchor > watchdog:
+                raise SimulationError(_DRAIN_ERROR.format(watchdog=watchdog))
+            if memory.quiescent():
+                continue
+            event = memory.next_event_cycle(cycle)
+            if event is None:
+                raise SimulationError(
+                    f"memory system cannot drain: in-flight work remains "
+                    f"but no event is pending at cycle {cycle}"
+                )
+            limit = drain_anchor + watchdog
+            if event > limit:
+                event = limit
+            if event > cycle:
+                jump = event - cycle
+                stats.fast_forwarded_cycles += jump
+                memory.advance(cycle, event)
+                cycle = event
+                if jump >= PARK_MIN_JUMP:
+                    soa_cycles[run_id] = cycle
+                    soa_indexes[run_id] = index
+                    yield cycle
+            continue
+
+        if steady_lo <= index < steady_hi:
+            slot = index % ii
+            if all_clean:
+                k = steady_hi - index
+            else:
+                k = run_len[slot]
+                if k:
+                    bound = steady_hi - index
+                    if k > bound:
+                        k = bound
+            if k and memory.quiescent():
+                if all_clean:
+                    whole, rem = divmod(k, ii)
+                    issued = whole * ops_per_ii + (
+                        count_prefix[slot + rem] - count_prefix[slot]
+                    )
+                else:
+                    issued = count_prefix[slot + k] - count_prefix[slot]
+                stats.issued_ops += issued
+                stats.compute_cycles += k
+                stats.fast_retired_indexes += k
+                memory.advance(cycle, cycle + k)
+                index += k
+                cycle += k
+                stall_streak = 0
+                if index >= next_prune:
+                    prune(completions, index, ii, length)
+                    next_prune = _next_prune_after(index)
+                continue
+
+        memory.tick_begin(cycle)
+        due = _due_ops(ops_by_slot, index, ii, n_iter)
+        if not _all_ready(due, completions, cycle):
+            waits = [
+                (completions[load_iid], iteration - distance)
+                for info, iteration in due
+                for load_iid, distance in info.load_preds
+                if iteration - distance >= 0
+            ]
+            while True:
+                stats.stall_cycles += 1
+                stall_streak += 1
+                if stall_streak > watchdog:
+                    raise SimulationError(
+                        f"machine stalled for {stall_streak} cycles at "
+                        f"kernel index {index}"
+                    )
+                memory.tick_end(cycle)
+                cycle += 1
+
+                event = memory.next_event_cycle(cycle)
+                if event is None or event > cycle:
+                    wake = 0
+                    for per_load, j in waits:
+                        done = per_load.get(j, 0)
+                        if done is None:
+                            wake = None
+                            break
+                        if done > wake:
+                            wake = done
+                    if wake is None and event is None:
+                        _executor._raise_watchdog(stats, stall_streak, index)
+                    if wake is None:
+                        target = event
+                    elif event is None:
+                        target = wake
+                    else:
+                        target = event if event < wake else wake
+                    if target > cycle:
+                        skipped = target - cycle
+                        if stall_streak + skipped > watchdog:
+                            _executor._raise_watchdog(
+                                stats, stall_streak, index
+                            )
+                        stats.stall_cycles += skipped
+                        stats.fast_forwarded_cycles += skipped
+                        stall_streak += skipped
+                        memory.advance(cycle, target)
+                        cycle = target
+                        if skipped >= prune_interval:
+                            prune(completions, index, ii, length)
+                            if index >= next_prune:
+                                next_prune = _next_prune_after(index)
+                        if skipped >= PARK_MIN_JUMP:
+                            soa_cycles[run_id] = cycle
+                            soa_indexes[run_id] = index
+                            yield cycle
+                memory.tick_begin(cycle)
+                if _executor._waits_ready(waits, cycle):
+                    break
+
+        for info, iteration in due:
+            _issue(info, iteration, cycle, trc, memory, completions, stats)
+        index += 1
+        stats.compute_cycles += 1
+        stall_streak = 0
+        memory.tick_end(cycle)
+        cycle += 1
+        if index >= next_prune:
+            prune(completions, index, ii, length)
+            next_prune = _next_prune_after(index)
+
+    soa_cycles[run_id] = cycle
+    soa_indexes[run_id] = index
+
+
+class _Run:
+    """Per-run context the scheduler holds outside the stepper frame."""
+
+    __slots__ = ("gen", "memory", "stats", "checker", "schedule",
+                 "n_iter", "flush_abs", "steps", "out")
+
+    def __init__(self, gen, memory, stats, checker, schedule, n_iter,
+                 flush_abs, out):
+        self.gen = gen
+        #: the compat stepper's MemorySystem; None under the flat stepper
+        self.memory = memory
+        self.stats = stats
+        self.checker = checker
+        self.schedule = schedule
+        self.n_iter = n_iter
+        self.flush_abs = flush_abs
+        self.steps = 0
+        #: flat-stepper exit diagnostics (per-bus busy cycles)
+        self.out = out
+
+
+class BatchSimulator:
+    """Co-schedule many independent compiled runs in one process.
+
+    Usage::
+
+        batch = BatchSimulator(batch_size=64)
+        for compiled, trace in work:
+            batch.submit(compiled, trace, iterations=n)
+        results = batch.run()   # SimulationResults, in submit order
+
+    At most ``batch_size`` runs are co-resident; further submissions
+    stream in as runs retire, so an arbitrarily large workload runs at
+    bounded memory.  Each run's observable behavior — serialized stats,
+    violation counts, error messages — is byte-identical to
+    ``simulate(..., engine="events")``; scheduling order can never leak
+    between runs because each run owns its memory system and stats.
+
+    ``run(capture_errors=True)`` maps a failing run to its exception
+    object (in that run's result slot) instead of aborting the batch —
+    the :class:`~repro.api.runner.Runner` integration uses this so one
+    poisoned spec cannot kill its batch siblings.
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise SimulationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.batch_size = int(batch_size)
+        self._items: List[tuple] = []
+        #: Struct-of-arrays progress state, indexed by run id; updated
+        #: by the steppers at every park and at retirement.
+        self.cycles: List[int] = []
+        self.indexes: List[int] = []
+        self.steps: List[int] = []
+        #: Aggregate report of the last :meth:`run` (occupancy, steps).
+        self.last_report: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        compilation: CompilationResult,
+        trc: TraceLike,
+        iterations: Optional[int] = None,
+        *,
+        check_coherence: bool = True,
+        flush_abs: bool = True,
+    ) -> int:
+        """Queue one run; returns its run id (= result index)."""
+        n_iter = trc.num_iterations if iterations is None else iterations
+        if n_iter < 1:
+            raise SimulationError("need at least one iteration")
+        if n_iter > trc.num_iterations:
+            raise SimulationError(
+                f"trace provides {trc.num_iterations} iterations, "
+                f"{n_iter} requested"
+            )
+        self._items.append(
+            (compilation, trc, n_iter, check_coherence, flush_abs)
+        )
+        self.cycles.append(0)
+        self.indexes.append(0)
+        self.steps.append(0)
+        return len(self._items) - 1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def snapshot(self) -> Dict[str, List[int]]:
+        """The SoA progress arrays (cycle, kernel index, steps per run)."""
+        return {
+            "cycles": list(self.cycles),
+            "indexes": list(self.indexes),
+            "steps": list(self.steps),
+        }
+
+    # ------------------------------------------------------------------
+    def _start(self, run_id: int) -> _Run:
+        compilation, trc, n_iter, check_coherence, flush_abs = (
+            self._items[run_id]
+        )
+        schedule = compilation.schedule
+        ddg = compilation.ddg
+        checker = (
+            CoherenceChecker(ddg, trc, n_iter) if check_coherence else None
+        )
+        stats = SimStats()
+        ops_by_slot = _prepare(compilation)
+        total_indexes = schedule.length + (n_iter - 1) * schedule.ii
+        completions: Dict[int, Dict[int, Optional[int]]] = {
+            instr.iid: {} for instr in ddg.loads()
+        }
+        out: Dict[str, Any] = {}
+        if _executor.MemorySystem is MemorySystem:
+            memory = None
+            gen = flat_stepper(
+                compilation.machine, schedule, n_iter, total_indexes,
+                ops_by_slot, completions, trc, stats, checker, flush_abs,
+                self.cycles, self.indexes, run_id, out,
+            )
+        else:
+            # A test double is patched over the executor's MemorySystem
+            # (watchdog fault injectors): drive it method-faithfully so
+            # the override semantics are preserved under batch too.
+            memory = _executor.MemorySystem(
+                compilation.machine, stats, checker
+            )
+            gen = _stepper_compat(
+                schedule, n_iter, total_indexes, ops_by_slot, completions,
+                trc, memory, stats, self.cycles, self.indexes, run_id,
+            )
+        return _Run(gen, memory, stats, checker, schedule, n_iter,
+                    flush_abs, out)
+
+    def _finish(self, run: _Run, width: int) -> SimulationResult:
+        if run.memory is not None:
+            # The flat stepper flushes its Attraction Buffers itself.
+            if run.flush_abs:
+                run.memory.flush_attraction_buffers()
+            busy_cycles = run.memory.fabric.busy_cycles
+        else:
+            busy_cycles = run.out.get("busy_cycles", ())
+        stats = run.stats
+        stats.batch_size = width
+        stats.batch_steps = run.steps
+        if metrics.enabled():
+            stats.publish("batch")
+            for bus, busy in enumerate(busy_cycles):
+                metrics.inc("sim.bus_busy_cycles", busy,
+                            engine="batch", bus=bus)
+        return SimulationResult(
+            stats=stats,
+            ii=run.schedule.ii,
+            stage_count=run.schedule.stage_count,
+            iterations=run.n_iter,
+            violations=run.checker.counts if run.checker else None,
+        )
+
+    def run(
+        self, *, capture_errors: bool = False
+    ) -> List[Union[SimulationResult, BaseException]]:
+        """Advance every submitted run to completion.
+
+        Returns one entry per submission, in submit order.  By default
+        the first failing run raises (matching ``simulate()``); with
+        ``capture_errors=True`` a failure occupies its run's result
+        slot as the exception object and the remaining runs complete.
+        """
+        items = self._items
+        total = len(items)
+        results: List[Union[SimulationResult, BaseException, None]] = (
+            [None] * total
+        )
+        if not total:
+            self._items = []
+            return []
+        width = min(self.batch_size, total)
+        pending = deque(range(total))
+        heap: List[Tuple[int, int, Any]] = []
+        runs: Dict[int, _Run] = {}
+        scheduler_steps = 0
+        occupancy_sum = 0
+        max_occupancy = 0
+        retired = 0
+        observe = metrics.enabled()
+
+        def admit() -> None:
+            while pending and len(heap) < self.batch_size:
+                rid = pending.popleft()
+                try:
+                    runs[rid] = self._start(rid)
+                except Exception as exc:
+                    # Setup failures (bad trace, checker rejection) get
+                    # the same isolation as mid-run failures.
+                    if not capture_errors:
+                        for _w, _r, other in heap:
+                            other.close()
+                        raise
+                    results[rid] = exc
+                    continue
+                heappush(heap, (0, rid, runs[rid].gen))
+                if observe:
+                    metrics.observe("sim.batch_occupancy", len(heap))
+
+        with trace.span("sim.batch", cat="sim", runs=total,
+                        batch_size=self.batch_size):
+            admit()
+            while heap:
+                wake, rid, gen = heappop(heap)
+                run = runs[rid]
+                scheduler_steps += 1
+                run.steps += 1
+                self.steps[rid] += 1
+                occ = len(heap) + 1
+                occupancy_sum += occ
+                if occ > max_occupancy:
+                    max_occupancy = occ
+                try:
+                    wake = next(gen)
+                except StopIteration:
+                    del runs[rid]
+                    results[rid] = self._finish(run, width)
+                    retired += 1
+                    if observe:
+                        metrics.observe("sim.batch_occupancy", len(heap))
+                    admit()
+                except Exception as exc:
+                    del runs[rid]
+                    if not capture_errors:
+                        for _w, _r, other in heap:
+                            other.close()
+                        raise
+                    results[rid] = exc
+                    admit()
+                else:
+                    heappush(heap, (wake, rid, gen))
+
+        self.last_report = {
+            "runs": total,
+            "batch_size": self.batch_size,
+            "width": width,
+            "steps": scheduler_steps,
+            "retired": retired,
+            "max_occupancy": max_occupancy,
+            "mean_occupancy": (
+                occupancy_sum / scheduler_steps if scheduler_steps else 0.0
+            ),
+            "retired_per_step": (
+                retired / scheduler_steps if scheduler_steps else 0.0
+            ),
+        }
+        if observe:
+            metrics.inc("sim.batch_batches")
+            metrics.inc("sim.batch_runs", total)
+            metrics.inc("sim.batch_steps", scheduler_steps)
+            metrics.set_gauge("sim.batch_retired_per_step",
+                              self.last_report["retired_per_step"])
+        self._items = []
+        return results  # type: ignore[return-value]
+
+
+def simulate_batch(
+    items,
+    *,
+    iterations: Optional[int] = None,
+    check_coherence: bool = True,
+    flush_abs: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> List[SimulationResult]:
+    """Convenience wrapper: co-simulate ``(compilation, trace)`` pairs.
+
+    Shared ``iterations``/``check_coherence``/``flush_abs`` apply to
+    every run; use :class:`BatchSimulator` directly for per-run
+    control or error capture.  Results come back in input order.
+    """
+    batch = BatchSimulator(batch_size=batch_size)
+    for compilation, trc in items:
+        batch.submit(
+            compilation, trc, iterations=iterations,
+            check_coherence=check_coherence, flush_abs=flush_abs,
+        )
+    return batch.run()  # type: ignore[return-value]

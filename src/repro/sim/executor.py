@@ -35,6 +35,12 @@ Two engines share this model:
   per machine cycle, ``tick_begin``/``tick_end`` every cycle.  Kept as
   the semantic baseline for equivalence tests and the speedup benchmark
   (``benchmarks/bench_sim_fastpath.py``).
+* ``engine="batch"`` — the batched lockstep engine
+  (:mod:`repro.sim.batch`): a specialized stepper with the same
+  observable behavior as ``"events"``, designed to co-schedule many
+  independent runs per process.  ``simulate(..., engine="batch")`` runs
+  a batch of one; :class:`~repro.sim.batch.BatchSimulator` amortizes
+  dispatch across hundreds of runs (``benchmarks/bench_sim_batch.py``).
 """
 
 from __future__ import annotations
@@ -61,7 +67,7 @@ STALL_WATCHDOG = 100_000
 _PRUNE_INTERVAL = 4096
 
 #: The available simulation engines (see module docstring).
-ENGINES = ("events", "cycles")
+ENGINES = ("events", "cycles", "batch")
 
 
 @dataclass
@@ -115,13 +121,24 @@ def simulate(
 
     ``engine`` selects the execution strategy: ``"events"`` (default)
     fast-forwards stalled and drain windows to the next memory event,
-    ``"cycles"`` is the one-iteration-per-cycle reference.  Both produce
-    identical :class:`~repro.sim.stats.SimStats` and violation counts.
+    ``"cycles"`` is the one-iteration-per-cycle reference, ``"batch"``
+    routes through :class:`~repro.sim.batch.BatchSimulator` as a batch
+    of one.  All produce identical :class:`~repro.sim.stats.SimStats`
+    and violation counts.
     """
     if engine not in ENGINES:
         raise SimulationError(
             f"unknown simulation engine {engine!r}; expected one of {ENGINES}"
         )
+    if engine == "batch":
+        from repro.sim.batch import BatchSimulator  # local: avoid cycle
+
+        batch = BatchSimulator(batch_size=1)
+        batch.submit(
+            compilation, trace, iterations=iterations,
+            check_coherence=check_coherence, flush_abs=flush_abs,
+        )
+        return batch.run()[0]
     schedule = compilation.schedule
     machine = compilation.machine
     ddg = compilation.ddg

@@ -1,0 +1,1014 @@
+"""Flattened memory-protocol stepper for the batch engine.
+
+This module is where the batch engine's throughput actually comes from.
+Profiling the event-skipping engine on mixed-family scenario batches
+shows ~80% of wall time inside the memory subsystem's object protocol:
+every access allocates dataclass messages (`BusMessage`,
+``_PendingLoad``), defines delivery closures, and walks 15-20 method
+calls across ``MemorySystem``/``BusFabric``/``NextLevel``/
+``CacheModule``.  Amortizing *dispatch* across runs (the lockstep heap)
+cannot touch that, so the batch engine replaces the whole per-run
+protocol execution with :func:`flat_stepper`: one generator holding the
+entire machine state in plain containers —
+
+* bus messages are tuples dispatched on an integer kind (request-load /
+  request-store / response), in per-source deques;
+* cache modules and Attraction Buffers are lists of insertion-ordered
+  dicts (pop + reinsert = LRU touch), presence mapped to a dirty bit;
+* next-level requests are ``(cluster, block)`` tuples (``None`` for
+  victim write-backs), keyed by completion cycle;
+* load completion callbacks collapse to ``per_load[iteration] = cycle``
+  on the run's completion maps;
+* per-op address streams are precomputed into flat lists (affine
+  references as pure arithmetic, indirect ones through the same
+  ``_mix`` hash the trace uses), so the cycle loop never calls
+  ``AddressTrace.address``;
+* the ``tick_begin``/``tick_end`` bodies are inlined at their three
+  call sites behind truthiness guards, the earliest bus-free cycle is
+  cached, and the three timed-event dicts are only ever keyed by
+  nondecreasing cycles, so their minimum is their *first* key;
+* stats accumulate in local integers and flush to
+  :class:`~repro.sim.stats.SimStats` once, in the ``finally`` block.
+
+Semantics replicate ``MemorySystem`` + ``BusFabric`` + ``NextLevel`` +
+``AttractionBuffer`` and the event-skipping executor *exactly*, with
+the orderings that matter called out inline: tick order (deferred sends
+-> next-level fills -> next-level acceptance -> bus deliveries), bus
+arbitration (round-robin over sources, highest-numbered free bus
+first), MSHR action replay in arrival order, home-side load
+serialization, and the stall/drain watchdogs with their exact error
+strings.  The only state deliberately not mirrored is per-module cache
+hit/miss counters and the next level's ``queued_cycles``, neither of
+which is observable through ``SimStats`` or the metrics registry.
+Byte-identity with ``engine="events"`` is enforced by the golden suite
+and the batch differential cross (``tests/test_sim_batch.py``).
+
+The stepper is only used for plain configurations — when the executor's
+``MemorySystem`` has been substituted (fault-injecting test doubles),
+the batch engine falls back to a method-faithful compat stepper in
+:mod:`repro.sim.batch`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from repro.alias.memref import AccessPattern
+from repro.errors import SimulationError
+from repro.sim import executor as _executor
+from repro.sim.executor import (
+    _all_ready,
+    _due_ops,
+    _fastpath_tables,
+    _next_prune_after,
+)
+from repro.sim.stats import AccessType
+from repro.workloads.traces import _MASK64, AddressTrace
+
+#: Minimum fast-forward jump (in simulated cycles) at which the stepper
+#: parks and hands control back to the batch scheduler's event heap.
+#: Shorter jumps are taken inline: re-enqueueing costs a heap push/pop,
+#: and sub-park jumps are too frequent for that to pay off.
+PARK_MIN_JUMP = 64
+
+# Bus-message kinds (tuple position 0).
+_REQ_LOAD = 0
+_REQ_STORE = 1
+_RESPONSE = 2
+
+# MSHR action kinds (tuple position 0); replayed in arrival order.
+_ACT_STORE = 0
+_ACT_LOAD = 1
+_ACT_RESPOND = 2
+
+
+def _address_table(trc, iid: int, n_iter: int) -> List[int]:
+    """Per-iteration addresses of one memory op, as a flat list.
+
+    Replicates :meth:`~repro.workloads.traces.AddressTrace.address` for
+    the concrete trace class (affine as straight arithmetic, indirect
+    through the same hash); any other ``TraceLike`` goes through its own
+    ``address`` method, so doubles keep their exact streams.
+    """
+    if type(trc) is not AddressTrace:
+        return [trc.address(iid, it) for it in range(n_iter)]
+    mem = trc._ddg.node(iid).mem
+    if mem is None:
+        raise SimulationError(f"instruction {iid} is not a memory op")
+    if mem.width < 1:  # unconstructible via MemRef; defensive
+        raise SimulationError(
+            f"access width must be positive, got {mem.width}")
+    start = trc.base(mem.space) + mem.offset
+    if mem.pattern is AccessPattern.AFFINE:
+        stride = mem.stride
+        return [start + stride * it for it in range(n_iter)]
+    slots = max(1, mem.spread // mem.width)
+    seed = trc.seed
+    space_hash = trc._space_hash[mem.space]
+    salt = mem.salt
+    width = mem.width
+    # _mix(seed, space_hash, salt, it) with the three SplitMix64 steps
+    # inlined: the tables are built once per run but cover every op
+    # instance, so the 4-deep call chain is worth flattening.
+    mask = _MASK64
+    out = []
+    append = out.append
+    for it in range(n_iter):
+        x = ((salt ^ it) + 0x9E3779B97F4A7C15) & mask
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & mask
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+        x = ((space_hash ^ x) + 0x9E3779B97F4A7C15) & mask
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & mask
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+        x = ((seed ^ x) + 0x9E3779B97F4A7C15) & mask
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & mask
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+        append(start + (x % slots) * width)
+    return out
+
+
+def flat_stepper(
+    machine, schedule, n_iter, total_indexes, ops_by_slot, completions,
+    trc, stats, checker, flush_abs, soa_cycles, soa_indexes, run_id, out,
+):
+    """Run one compiled loop to completion; yields at park points.
+
+    ``out`` receives diagnostic state at exit (currently the per-bus
+    ``busy_cycles`` list, for the batch engine's metrics publication).
+    """
+    ii = schedule.ii
+    length = schedule.length
+    watchdog = _executor.STALL_WATCHDOG
+    prune_interval = _executor._PRUNE_INTERVAL
+    prune = _executor._prune
+
+    # ------------------------------------------------------------------
+    # Machine parameters
+    # ------------------------------------------------------------------
+    num_clusters = machine.num_clusters
+    interleave = machine.interleave_bytes
+    block_bytes = machine.cache.block_bytes
+    hit_latency = machine.cache.hit_latency
+    nsets = machine.cache.num_sets
+    assoc = machine.cache.associativity
+    num_buses = machine.memory_buses.count
+    bus_latency = machine.memory_buses.latency
+    nl_latency = machine.next_level.latency
+    nl_ports = machine.next_level.ports
+    ab_config = machine.attraction_buffer
+    use_abs = ab_config is not None
+    if use_abs:
+        ab_nsets = ab_config.num_sets
+        ab_assoc = ab_config.associativity
+        ab_sets: List[List[dict]] = [
+            [dict() for _ in range(ab_nsets)] for _ in range(num_clusters)
+        ]
+
+    # ------------------------------------------------------------------
+    # Machine state (mirrors MemorySystem/BusFabric/NextLevel/CacheModule)
+    # ------------------------------------------------------------------
+    # Cache modules: per cluster, per set, insertion-ordered dict
+    # block -> dirty (last = most recently used, first = LRU victim).
+    cache_sets: List[List[dict]] = [
+        [dict() for _ in range(nsets)] for _ in range(num_clusters)
+    ]
+    # Ground-truth versions: (block, home) -> {addr: (iteration, seq)}.
+    versions: Dict[tuple, dict] = {}
+    # Home-side MSHRs: per cluster, block -> action list (arrival order).
+    mshr: List[Dict[int, list]] = [{} for _ in range(num_clusters)]
+    # Bus fabric.
+    queues = [deque() for _ in range(num_clusters)]
+    bus_free = [0] * num_buses
+    busy_cycles = [0] * num_buses
+    bus_min = 0  # cached min(bus_free); updated by inject
+    in_flight: Dict[int, list] = {}
+    queued = 0
+    rr_start = 0
+    transfers = 0
+    bus_queued_cycles = 0
+    # Next level: queue of (cluster, block) fetches / None write-backs.
+    nl_queue = deque()
+    nl_compl: Dict[int, list] = {}
+    nl_requests = 0
+    # Deferred home responses: send cycle -> messages.
+    deferred: Dict[int, list] = {}
+    outstanding = 0
+    # The three timed dicts above are only ever inserted at the current
+    # cycle plus a nonnegative constant latency, and only ever popped at
+    # the current cycle, so their keys stay sorted: next(iter(d)) is
+    # min(d) everywhere below.
+
+    # ------------------------------------------------------------------
+    # Stat accumulators (flushed once, in the finally block)
+    # ------------------------------------------------------------------
+    acc_local_hit = 0
+    acc_remote_hit = 0
+    acc_local_miss = 0
+    acc_remote_miss = 0
+    acc_combined = 0
+    viol_acc = 0
+    nullified_acc = 0
+    ab_hits_total = 0
+    ab_fills_total = 0
+    ab_overflows_total = 0
+    ab_flushed_acc = 0
+    compute_acc = 0
+    stall_acc = 0
+    issued_acc = 0
+    ff_acc = 0
+    fr_acc = 0
+
+    observe_load = checker.observe_load if checker is not None else None
+
+    # ------------------------------------------------------------------
+    # Protocol helpers (closures over the flat state)
+    # ------------------------------------------------------------------
+    def apply_store(key, addr, version):
+        nonlocal viol_acc
+        bucket = versions.get(key)
+        if bucket is None:
+            bucket = versions[key] = {}
+        current = bucket.get(addr)
+        if current is not None and current > version:
+            # A younger store already applied: program order inverted;
+            # keep the younger (trace-correct) version.
+            if checker is not None:
+                checker.observe_write_inversion()
+            viol_acc += 1
+            return
+        bucket[addr] = version
+
+    def send_response(home, requester, block, addr, iid, it, per_load,
+                      send_at, now):
+        # The load observes the subblock *here*, at its serialization
+        # point at the home module; the response only models the
+        # transfer back.  (The version snapshot is only materialized
+        # when Attraction Buffers will consume it at the requester.)
+        nonlocal viol_acc, queued
+        bucket = versions.get((block, home))
+        if use_abs:
+            snapshot = dict(bucket) if bucket else {}
+            observed = snapshot.get(addr)
+        else:
+            snapshot = None
+            observed = bucket.get(addr) if bucket else None
+        if observe_load is not None and observe_load(iid, it, observed):
+            viol_acc += 1
+        message = (_RESPONSE, home, requester, block, it, per_load,
+                   snapshot)
+        if send_at <= now:
+            queues[home].append(message)
+            queued += 1
+        else:
+            bucket_d = deferred.get(send_at)
+            if bucket_d is None:
+                deferred[send_at] = [message]
+            else:
+                bucket_d.append(message)
+
+    def ab_fill(cluster, block, home, snapshot):
+        nonlocal ab_fills_total, ab_overflows_total
+        key = (block, home)
+        abset = ab_sets[cluster][block % ab_nsets]
+        entry = abset.get(key)
+        if entry is not None:
+            # Re-fill of a resident copy: merge + LRU touch, no fill
+            # counted (AttractionBuffer.fill's early return).
+            entry[0].update(snapshot)
+            abset[key] = abset.pop(key)
+            return
+        if len(abset) >= ab_assoc:
+            victim_key = next(iter(abset))
+            victim = abset.pop(victim_key)
+            ab_overflows_total += 1
+            if victim[1]:
+                for a, v in victim[0].items():
+                    apply_store(victim_key, a, v)
+        abset[key] = [dict(snapshot), False]
+        ab_fills_total += 1
+
+    def handle_fill(cluster, block, cycle):
+        # Install clean (merging dirtiness and refreshing LRU when the
+        # block is somehow already present), write back a dirty victim
+        # through a next-level port, then replay the MSHR actions in
+        # arrival order.
+        nonlocal outstanding, viol_acc, nl_requests
+        cset = cache_sets[cluster][block % nsets]
+        if block in cset:
+            cset[block] = cset.pop(block)
+        else:
+            if len(cset) >= assoc:
+                victim_dirty = cset.pop(next(iter(cset)))
+                if victim_dirty:
+                    nl_queue.append(None)
+                    nl_requests += 1
+            cset[block] = False
+        actions = mshr[cluster].pop(block, None)
+        if actions is None:
+            raise SimulationError(f"fill for block {block} without waiter")
+        key = (block, cluster)
+        for action in actions:
+            kind = action[0]
+            if kind == _ACT_STORE:
+                apply_store(key, action[1], action[2])
+                cset[block] = True
+            elif kind == _ACT_LOAD:
+                _k, addr, iid, it, per_load = action
+                bucket = versions.get(key)
+                observed = bucket.get(addr) if bucket else None
+                if observe_load is not None and observe_load(
+                        iid, it, observed):
+                    viol_acc += 1
+                per_load[it] = cycle
+            else:  # _ACT_RESPOND
+                _k, requester, addr, iid, it, per_load = action
+                send_response(cluster, requester, block, addr, iid, it,
+                              per_load, send_at=cycle, now=cycle)
+            outstanding -= 1
+
+    def deliver(arrivals, cycle):
+        # Bus messages arrive at their destinations (fabric.deliver).
+        nonlocal outstanding, acc_remote_hit, acc_remote_miss
+        nonlocal acc_combined, nl_requests
+        for message in arrivals:
+            kind = message[0]
+            if kind == _RESPONSE:
+                # (kind, home, requester, block, it, per_load, snapshot)
+                message[5][message[4]] = cycle
+                outstanding -= 1
+                if use_abs:
+                    ab_fill(message[2], message[3], message[1],
+                            message[6])
+            elif kind == _REQ_LOAD:
+                _k, src, home, block, addr, iid, it, per_load = message
+                cset = cache_sets[home][block % nsets]
+                if block in cset:
+                    acc_remote_hit += 1
+                    cset[block] = cset.pop(block)
+                    send_response(home, src, block, addr, iid, it,
+                                  per_load, send_at=cycle + hit_latency,
+                                  now=cycle)
+                else:
+                    waiter = mshr[home].get(block)
+                    if waiter is not None:
+                        acc_combined += 1
+                        waiter.append(
+                            (_ACT_RESPOND, src, addr, iid, it, per_load))
+                        outstanding += 1
+                    else:
+                        acc_remote_miss += 1
+                        mshr[home][block] = [
+                            (_ACT_RESPOND, src, addr, iid, it, per_load)]
+                        outstanding += 1
+                        nl_queue.append((home, block))
+                        nl_requests += 1
+            else:  # _REQ_STORE
+                _k, src, home, block, addr, version = message
+                cset = cache_sets[home][block % nsets]
+                if block in cset:
+                    acc_remote_hit += 1
+                    cset.pop(block)
+                    cset[block] = True
+                    apply_store((block, home), addr, version)
+                else:
+                    waiter = mshr[home].get(block)
+                    if waiter is not None:
+                        acc_combined += 1
+                        waiter.append((_ACT_STORE, addr, version))
+                        outstanding += 1
+                    else:
+                        acc_remote_miss += 1
+                        mshr[home][block] = [(_ACT_STORE, addr, version)]
+                        outstanding += 1
+                        nl_queue.append((home, block))
+                        nl_requests += 1
+                outstanding -= 1
+
+    def flat_load(cluster, addr, iid, it, per_load, cycle):
+        nonlocal outstanding, queued, viol_acc, nl_requests
+        nonlocal acc_local_hit, acc_local_miss, acc_combined
+        nonlocal ab_hits_total
+        home = (addr // interleave) % num_clusters
+        block = addr // block_bytes
+        if home == cluster:
+            cset = cache_sets[cluster][block % nsets]
+            if block in cset:
+                acc_local_hit += 1
+                cset[block] = cset.pop(block)
+                bucket = versions.get((block, cluster))
+                observed = bucket.get(addr) if bucket else None
+                if observe_load is not None and observe_load(
+                        iid, it, observed):
+                    viol_acc += 1
+                per_load[it] = cycle + hit_latency
+                return
+            waiter = mshr[cluster].get(block)
+            if waiter is not None:
+                acc_combined += 1
+                waiter.append((_ACT_LOAD, addr, iid, it, per_load))
+                outstanding += 1
+                return
+            acc_local_miss += 1
+            mshr[cluster][block] = [(_ACT_LOAD, addr, iid, it, per_load)]
+            outstanding += 1
+            nl_queue.append((cluster, block))
+            nl_requests += 1
+            return
+        if use_abs:
+            # A cached copy of the remote subblock makes the access
+            # local (section 5.1).
+            key = (block, home)
+            abset = ab_sets[cluster][block % ab_nsets]
+            entry = abset.get(key)
+            if entry is not None:
+                abset[key] = abset.pop(key)
+                ab_hits_total += 1
+                acc_local_hit += 1
+                observed = entry[0].get(addr)
+                if observe_load is not None and observe_load(
+                        iid, it, observed):
+                    viol_acc += 1
+                per_load[it] = cycle + hit_latency
+                return
+        # Every remote load travels to its home as its own request (no
+        # requester-side combining — home-side serialization is the
+        # point of coherence).
+        outstanding += 1
+        queues[cluster].append(
+            (_REQ_LOAD, cluster, home, block, addr, iid, it, per_load))
+        queued += 1
+
+    def flat_store(cluster, addr, it, seq, replica, cycle):
+        nonlocal outstanding, queued, nullified_acc, nl_requests
+        nonlocal acc_local_hit, acc_local_miss, acc_combined
+        version = (it, seq)
+        home = (addr // interleave) % num_clusters
+        block = addr // block_bytes
+        if replica and home != cluster:
+            # Nullified instance (section 3.3) — still refreshes an
+            # Attraction-Buffer copy if one exists (section 5.3).
+            nullified_acc += 1
+            if use_abs:
+                entry = ab_sets[cluster][block % ab_nsets].get(
+                    (block, home))
+                if entry is not None:
+                    entry[0][addr] = version
+                    entry[1] = True
+            return
+        if home == cluster:
+            cset = cache_sets[cluster][block % nsets]
+            if block in cset:
+                acc_local_hit += 1
+                cset.pop(block)
+                cset[block] = True
+                apply_store((block, cluster), addr, version)
+                return
+            waiter = mshr[cluster].get(block)
+            if waiter is not None:
+                acc_combined += 1
+                waiter.append((_ACT_STORE, addr, version))
+                outstanding += 1
+                return
+            acc_local_miss += 1
+            mshr[cluster][block] = [(_ACT_STORE, addr, version)]
+            outstanding += 1
+            nl_queue.append((cluster, block))
+            nl_requests += 1
+            return
+        if use_abs:
+            # Remote store with a locally attracted copy: update it in
+            # place; dirty data goes home at the loop-boundary flush.
+            entry = ab_sets[cluster][block % ab_nsets].get((block, home))
+            if entry is not None:
+                entry[0][addr] = version
+                entry[1] = True
+                acc_local_hit += 1
+                return
+        outstanding += 1
+        queues[cluster].append(
+            (_REQ_STORE, cluster, home, block, addr, version))
+        queued += 1
+
+    def inject_1bus(cycle):
+        # inject() specialized for single-bus fabrics (the contended
+        # configurations where it dominates the profile): at most one
+        # message moves per cycle, so the free-list and the post-loop
+        # min() collapse away.
+        nonlocal queued, rr_start, transfers, bus_queued_cycles, bus_min
+        if bus_free[0] > cycle:
+            bus_queued_cycles += queued
+            return
+        base = rr_start
+        rr_start = (base + 1) % num_clusters
+        for k in range(num_clusters):
+            queue = queues[(base + k) % num_clusters]
+            if queue:
+                message = queue.popleft()
+                queued -= 1
+                arrival = cycle + bus_latency
+                bus_free[0] = arrival
+                bus_min = arrival
+                busy_cycles[0] += bus_latency
+                bucket = in_flight.get(arrival)
+                if bucket is None:
+                    in_flight[arrival] = [message]
+                else:
+                    bucket.append(message)
+                transfers += 1
+                break
+        bus_queued_cycles += queued
+
+    def inject(cycle):
+        # BusFabric.inject for the queued case: round-robin arbitration
+        # over sources for the free buses (highest-numbered free bus
+        # assigned first), at most one injection per source per cycle.
+        nonlocal queued, rr_start, transfers, bus_queued_cycles, bus_min
+        if bus_min > cycle:  # no bus free: account waiters, O(1)
+            bus_queued_cycles += queued
+            return
+        base = rr_start
+        rr_start = (base + 1) % num_clusters
+        arrival = cycle + bus_latency
+        # Scanning buses top-down skipping busy ones visits exactly the
+        # free buses in descending index order — the order the original
+        # free-list pop() assigns them.
+        b = num_buses - 1
+        for k in range(num_clusters):
+            queue = queues[(base + k) % num_clusters]
+            if not queue:
+                continue
+            while b >= 0 and bus_free[b] > cycle:
+                b -= 1
+            if b < 0:
+                break
+            message = queue.popleft()
+            queued -= 1
+            bus_free[b] = arrival
+            busy_cycles[b] += bus_latency
+            b -= 1
+            bucket = in_flight.get(arrival)
+            if bucket is None:
+                in_flight[arrival] = [message]
+            else:
+                bucket.append(message)
+            transfers += 1
+        bus_queued_cycles += queued
+        # A still-free bus keeps bus_min <= cycle; its exact value is
+        # only ever *compared* against cycles >= this one, so the stale
+        # cached value stays predicate-equivalent.  Only when every bus
+        # went busy does the cache need the real minimum.
+        while b >= 0:
+            if bus_free[b] <= cycle:
+                return
+            b -= 1
+        bus_min = min(bus_free)
+
+    if num_buses == 1:
+        inject = inject_1bus
+
+    def nl_accept(cycle):
+        # NextLevel.tick's acceptance half (fills are handled inline at
+        # the call sites *before* this, so a victim write-back those
+        # fills enqueue is accepted this very cycle, like the original).
+        done = cycle + nl_latency
+        bucket = nl_compl.get(done)
+        if bucket is None:
+            bucket = nl_compl[done] = []
+        accepted = 0
+        while nl_queue and accepted < nl_ports:
+            bucket.append(nl_queue.popleft())
+            accepted += 1
+
+    def skip_window(start, stop):
+        # Bulk replay of provably inert cycles (BusFabric.skip_window).
+        nonlocal bus_queued_cycles, rr_start
+        if queued:
+            bus_queued_cycles += queued * (stop - start)
+            return
+        begin = start if start > bus_min else bus_min
+        if stop > begin:
+            rr_start = (rr_start + (stop - begin)) % num_clusters
+
+    # ------------------------------------------------------------------
+    # Steady-state dispatch tables (see repro.sim.batch docstring), with
+    # per-op precomputed address lists replacing trace.address calls.
+    # ------------------------------------------------------------------
+    (
+        run_len, all_clean, count_prefix, ops_per_ii, steady_lo, steady_hi,
+    ) = _fastpath_tables(ops_by_slot, ii, n_iter, total_indexes)
+
+    addr_tabs: Dict[int, List[int]] = {}
+    flat_slots: List[tuple] = []
+    pred_slots: List[tuple] = []
+    for bucket in ops_by_slot:
+        flat = []
+        preds = []
+        for info in bucket:
+            kq = info.time // ii
+            if info.is_load or info.is_store:
+                addrs = addr_tabs.get(info.iid)
+                if addrs is None:
+                    addrs = addr_tabs[info.iid] = _address_table(
+                        trc, info.iid, n_iter)
+                flat.append((
+                    1 if info.is_load else 2, info.iid,
+                    completions.get(info.iid), info.cluster, addrs,
+                    info.seq, info.replica, kq,
+                ))
+            for load_iid, distance in info.load_preds:
+                preds.append((completions[load_iid], kq + distance))
+        flat_slots.append(tuple(flat))
+        pred_slots.append(tuple(preds))
+    slot_counts = [len(bucket) for bucket in ops_by_slot]
+
+    index = 0
+    cycle = 0
+    stall_streak = 0
+    drain_low_water = float("inf")
+    drain_anchor = 0
+    next_prune = prune_interval
+
+    def _stall(waits, cycle, stall_streak, index):
+        """Event-to-event stall loop (frozen waits), shared by both
+        issue paths; parks at long fast-forward jumps."""
+        nonlocal stall_acc, ff_acc, next_prune, queued, rr_start
+        while True:
+            stall_acc += 1
+            stall_streak += 1
+            if stall_streak > watchdog:
+                raise SimulationError(
+                    f"machine stalled for {stall_streak} cycles at "
+                    f"kernel index {index}"
+                )
+            # tick_end
+            if queued:
+                inject(cycle)
+            elif bus_min <= cycle:
+                rr_start = (rr_start + 1) % num_clusters
+            cycle += 1
+
+            # next_event_cycle(cycle)
+            if nl_queue or (queued and bus_min <= cycle):
+                event = cycle
+            else:
+                event = bus_min if queued else None
+                if in_flight:
+                    c = next(iter(in_flight))
+                    if event is None or c < event:
+                        event = c
+                if nl_compl:
+                    c = next(iter(nl_compl))
+                    if event is None or c < event:
+                        event = c
+                if deferred:
+                    c = next(iter(deferred))
+                    if event is None or c < event:
+                        event = c
+                if event is not None and event < cycle:
+                    event = cycle
+            if event is None or event > cycle:
+                wake = 0
+                for per_load, j in waits:
+                    done = per_load.get(j, 0)
+                    if done is None:
+                        wake = None
+                        break
+                    if done > wake:
+                        wake = done
+                if wake is None and event is None:
+                    over = watchdog + 1 - stall_streak
+                    stall_acc += over
+                    raise SimulationError(
+                        f"machine stalled for {watchdog + 1} cycles at "
+                        f"kernel index {index}"
+                    )
+                if wake is None:
+                    target = event
+                elif event is None:
+                    target = wake
+                else:
+                    target = event if event < wake else wake
+                if target > cycle:
+                    skipped = target - cycle
+                    if stall_streak + skipped > watchdog:
+                        over = watchdog + 1 - stall_streak
+                        stall_acc += over
+                        raise SimulationError(
+                            f"machine stalled for {watchdog + 1} cycles "
+                            f"at kernel index {index}"
+                        )
+                    stall_acc += skipped
+                    ff_acc += skipped
+                    stall_streak += skipped
+                    skip_window(cycle, target)
+                    cycle = target
+                    if skipped >= prune_interval:
+                        prune(completions, index, ii, length)
+                        if index >= next_prune:
+                            next_prune = _next_prune_after(index)
+                    if skipped >= PARK_MIN_JUMP:
+                        soa_cycles[run_id] = cycle
+                        soa_indexes[run_id] = index
+                        yield cycle
+            # tick_begin
+            if deferred:
+                msgs = deferred.pop(cycle, None)
+                if msgs:
+                    for message in msgs:
+                        queues[message[1]].append(message)
+                    queued += len(msgs)
+            if nl_compl:
+                fills = nl_compl.pop(cycle, None)
+                if fills:
+                    for fill in fills:
+                        if fill is not None:
+                            handle_fill(fill[0], fill[1], cycle)
+            if nl_queue and nl_ports:
+                nl_accept(cycle)
+            if in_flight:
+                arrivals = in_flight.pop(cycle, None)
+                if arrivals:
+                    deliver(arrivals, cycle)
+            for per_load, j in waits:
+                done = per_load.get(j, 0)
+                if done is None or done > cycle:
+                    break
+            else:
+                return cycle, stall_streak
+
+    try:
+        while True:
+            if index >= total_indexes:
+                if not (outstanding or queued or in_flight or nl_queue
+                        or nl_compl or deferred):
+                    break
+                # ---- post-issue drain --------------------------------
+                # tick_begin
+                if deferred:
+                    msgs = deferred.pop(cycle, None)
+                    if msgs:
+                        for message in msgs:
+                            queues[message[1]].append(message)
+                        queued += len(msgs)
+                if nl_compl:
+                    fills = nl_compl.pop(cycle, None)
+                    if fills:
+                        for fill in fills:
+                            if fill is not None:
+                                handle_fill(fill[0], fill[1], cycle)
+                if nl_queue and nl_ports:
+                    nl_accept(cycle)
+                if in_flight:
+                    arrivals = in_flight.pop(cycle, None)
+                    if arrivals:
+                        deliver(arrivals, cycle)
+                pending = (
+                    outstanding + queued
+                    + sum(len(v) for v in in_flight.values())
+                    + len(nl_queue)
+                    + sum(len(v) for v in nl_compl.values())
+                    + sum(len(v) for v in deferred.values())
+                )
+                if pending < drain_low_water:
+                    drain_low_water = pending
+                    drain_anchor = cycle
+                # tick_end
+                if queued:
+                    inject(cycle)
+                elif bus_min <= cycle:
+                    rr_start = (rr_start + 1) % num_clusters
+                cycle += 1
+                if cycle - drain_anchor > watchdog:
+                    raise SimulationError(
+                        f"memory system failed to drain: no progress "
+                        f"for {watchdog} cycles after the last issue"
+                    )
+                if not (outstanding or queued or in_flight or nl_queue
+                        or nl_compl or deferred):
+                    continue
+                # next_event_cycle(cycle)
+                if nl_queue or (queued and bus_min <= cycle):
+                    event = cycle
+                else:
+                    event = bus_min if queued else None
+                    if in_flight:
+                        c = next(iter(in_flight))
+                        if event is None or c < event:
+                            event = c
+                    if nl_compl:
+                        c = next(iter(nl_compl))
+                        if event is None or c < event:
+                            event = c
+                    if deferred:
+                        c = next(iter(deferred))
+                        if event is None or c < event:
+                            event = c
+                    if event is not None and event < cycle:
+                        event = cycle
+                if event is None:
+                    raise SimulationError(
+                        f"memory system cannot drain: in-flight work "
+                        f"remains but no event is pending at cycle {cycle}"
+                    )
+                limit = drain_anchor + watchdog
+                if event > limit:
+                    event = limit
+                if event > cycle:
+                    jump = event - cycle
+                    ff_acc += jump
+                    skip_window(cycle, event)
+                    cycle = event
+                    if jump >= PARK_MIN_JUMP:
+                        soa_cycles[run_id] = cycle
+                        soa_indexes[run_id] = index
+                        yield cycle
+                continue
+
+            if steady_lo <= index < steady_hi:
+                q_round, slot = divmod(index, ii)
+                # ---- bulk fast path: memory-free kernel-index runs ---
+                if all_clean:
+                    k = steady_hi - index
+                else:
+                    k = run_len[slot]
+                    if k:
+                        bound = steady_hi - index
+                        if k > bound:
+                            k = bound
+                if k and not (outstanding or queued or in_flight
+                              or nl_queue or nl_compl or deferred):
+                    if all_clean:
+                        whole, rem = divmod(k, ii)
+                        issued_acc += whole * ops_per_ii + (
+                            count_prefix[slot + rem] - count_prefix[slot]
+                        )
+                    else:
+                        issued_acc += (
+                            count_prefix[slot + k] - count_prefix[slot]
+                        )
+                    compute_acc += k
+                    fr_acc += k
+                    skip_window(cycle, cycle + k)
+                    index += k
+                    cycle += k
+                    stall_streak = 0
+                    if index >= next_prune:
+                        prune(completions, index, ii, length)
+                        next_prune = _next_prune_after(index)
+                    continue
+
+                # ---- one steady-state kernel index -------------------
+                # tick_begin
+                if deferred:
+                    msgs = deferred.pop(cycle, None)
+                    if msgs:
+                        for message in msgs:
+                            queues[message[1]].append(message)
+                        queued += len(msgs)
+                if nl_compl:
+                    fills = nl_compl.pop(cycle, None)
+                    if fills:
+                        for fill in fills:
+                            if fill is not None:
+                                handle_fill(fill[0], fill[1], cycle)
+                if nl_queue and nl_ports:
+                    nl_accept(cycle)
+                if in_flight:
+                    arrivals = in_flight.pop(cycle, None)
+                    if arrivals:
+                        deliver(arrivals, cycle)
+
+                preds = pred_slots[slot]
+                for per_load, kqd in preds:
+                    j = q_round - kqd
+                    if j >= 0:
+                        done = per_load.get(j, 0)
+                        if done is None or done > cycle:
+                            waits = [
+                                (pl, q_round - kq)
+                                for pl, kq in preds
+                                if q_round - kq >= 0
+                            ]
+                            cycle, stall_streak = yield from _stall(
+                                waits, cycle, stall_streak, index
+                            )
+                            break
+
+                for (kind, iid, per_load, cluster, addrs, seq, replica,
+                     kq) in flat_slots[slot]:
+                    it = q_round - kq
+                    if kind == 1:
+                        per_load[it] = None
+                        flat_load(cluster, addrs[it], iid, it, per_load,
+                                  cycle)
+                    else:
+                        flat_store(cluster, addrs[it], it, seq, replica,
+                                   cycle)
+                issued_acc += slot_counts[slot]
+            else:
+                # ---- prologue/epilogue ramp index (generic path) -----
+                # tick_begin
+                if deferred:
+                    msgs = deferred.pop(cycle, None)
+                    if msgs:
+                        for message in msgs:
+                            queues[message[1]].append(message)
+                        queued += len(msgs)
+                if nl_compl:
+                    fills = nl_compl.pop(cycle, None)
+                    if fills:
+                        for fill in fills:
+                            if fill is not None:
+                                handle_fill(fill[0], fill[1], cycle)
+                if nl_queue and nl_ports:
+                    nl_accept(cycle)
+                if in_flight:
+                    arrivals = in_flight.pop(cycle, None)
+                    if arrivals:
+                        deliver(arrivals, cycle)
+
+                due = _due_ops(ops_by_slot, index, ii, n_iter)
+                if not _all_ready(due, completions, cycle):
+                    waits = [
+                        (completions[load_iid], iteration - distance)
+                        for info, iteration in due
+                        for load_iid, distance in info.load_preds
+                        if iteration - distance >= 0
+                    ]
+                    cycle, stall_streak = yield from _stall(
+                        waits, cycle, stall_streak, index
+                    )
+                for info, iteration in due:
+                    issued_acc += 1
+                    if info.is_load:
+                        per_load = completions[info.iid]
+                        per_load[iteration] = None
+                        flat_load(info.cluster,
+                                  addr_tabs[info.iid][iteration],
+                                  info.iid, iteration, per_load, cycle)
+                    elif info.is_store:
+                        flat_store(info.cluster,
+                                   addr_tabs[info.iid][iteration],
+                                   iteration, info.seq, info.replica,
+                                   cycle)
+
+            index += 1
+            compute_acc += 1
+            stall_streak = 0
+            # tick_end
+            if queued:
+                inject(cycle)
+            elif bus_min <= cycle:
+                rr_start = (rr_start + 1) % num_clusters
+            cycle += 1
+            if index >= next_prune:
+                prune(completions, index, ii, length)
+                next_prune = _next_prune_after(index)
+
+        # ---- loop-boundary Attraction-Buffer flush -------------------
+        # simulate() flushes after the engine returns; doing it here
+        # (still before the stats flush below) is observation-identical
+        # and keeps the flat AB state private to this frame.
+        if use_abs and flush_abs:
+            for cluster_sets in ab_sets:
+                for abset in cluster_sets:
+                    for key, entry in abset.items():
+                        if entry[1]:
+                            for a, v in entry[0].items():
+                                apply_store(key, a, v)
+                            ab_flushed_acc += 1
+                    abset.clear()
+    finally:
+        stats.compute_cycles += compute_acc
+        stats.stall_cycles += stall_acc
+        stats.issued_ops += issued_acc
+        stats.fast_forwarded_cycles += ff_acc
+        stats.fast_retired_indexes += fr_acc
+        accesses = stats.accesses
+        accesses[AccessType.LOCAL_HIT] += acc_local_hit
+        accesses[AccessType.REMOTE_HIT] += acc_remote_hit
+        accesses[AccessType.LOCAL_MISS] += acc_local_miss
+        accesses[AccessType.REMOTE_MISS] += acc_remote_miss
+        accesses[AccessType.COMBINED] += acc_combined
+        stats.coherence_violations += viol_acc
+        stats.nullified_stores += nullified_acc
+        stats.ab_hits = ab_hits_total
+        stats.ab_fills = ab_fills_total
+        stats.ab_overflows = ab_overflows_total
+        stats.ab_flushed_dirty += ab_flushed_acc
+        stats.bus_transfers = transfers
+        stats.bus_queued_cycles = bus_queued_cycles
+        stats.next_level_requests = nl_requests
+        out["busy_cycles"] = busy_cycles
+        soa_cycles[run_id] = cycle
+        soa_indexes[run_id] = index

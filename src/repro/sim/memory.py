@@ -165,6 +165,15 @@ class MemorySystem:
 
     def tick_end(self, cycle: int) -> None:
         self.fabric.inject(cycle)
+        self.sync_stats()
+
+    def sync_stats(self) -> None:
+        """Mirror fabric/next-level counters into :class:`SimStats`.
+
+        Pure absolute copies of monotonic counters, so calling this once
+        at end of run (as the batch engine's steppers do) yields the
+        same final stats as calling it every ``tick_end``.
+        """
         self.stats.bus_transfers = self.fabric.transfers
         self.stats.bus_queued_cycles = self.fabric.queued_cycles
         self.stats.next_level_requests = self.next_level.requests

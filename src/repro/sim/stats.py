@@ -51,6 +51,8 @@ _COUNTER_FIELDS = (
 _DIAGNOSTIC_FIELDS = (
     "fast_forwarded_cycles",
     "fast_retired_indexes",
+    "batch_size",
+    "batch_steps",
 )
 
 
@@ -80,6 +82,12 @@ class SimStats:
     #: kernel indexes retired by the "no loads in flight, none due" bulk
     #: fast path (diagnostic; not serialized)
     fast_retired_indexes: int = 0
+    #: co-schedule width of the batch engine's run (0 for the per-run
+    #: engines; diagnostic; not serialized)
+    batch_size: int = 0
+    #: scheduler resumptions this run consumed under the batch engine
+    #: (diagnostic; not serialized)
+    batch_steps: int = 0
 
     # ------------------------------------------------------------------
     def record_access(self, kind: AccessType) -> None:

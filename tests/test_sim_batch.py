@@ -1,0 +1,290 @@
+"""Batched lockstep engine == per-run events engine, byte for byte.
+
+The batch engine's only contract is *observable equivalence*: whatever
+mix of runs shares a :class:`~repro.sim.batch.BatchSimulator`, each
+run's serialized stats and coherence verdicts must match a solo
+``engine="events"`` simulation exactly.  These tests pin that contract
+with a differential cross (families x machines x coherence x
+heuristics), property-style composition/batch-size independence checks,
+the compat-stepper path for substituted memory systems, and the
+record-level plumbing through ``execute_specs_batch`` and
+``Runner(engine="batch")``.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api.artifacts import MemoryArtifactStore
+from repro.api.core import execute_spec, execute_specs_batch
+from repro.api.runner import Runner
+from repro.api.spec import Plan, RunSpec
+from repro.api.store import MemoryStore
+from repro.arch import BASELINE_CONFIG
+from repro.arch.config import parse_config_name
+from repro.errors import SimulationError
+from repro.scenarios import ScenarioParams, build_scenario_ddg
+from repro.sched import CoherenceMode, Heuristic, compile_loop
+from repro.sim import executor as executor_mod
+from repro.sim import simulate
+from repro.sim.batch import BatchSimulator, simulate_batch
+from repro.sim.memory import MemorySystem
+from repro.sim.stats import SimStats
+from repro.workloads import trace_factory
+
+SLOWMEM = parse_config_name("gen-c4-mb1x8-rb4x2-cm512b32a2-nl60p2")
+ITER = 120
+
+
+def _compile(family, machine, coherence, heuristic, **params):
+    ddg = build_scenario_ddg(ScenarioParams(family=family, **params))
+    return compile_loop(
+        ddg, machine, coherence=coherence, heuristic=heuristic,
+        trace_factory=trace_factory(64, seed=5), profile_iterations=64,
+    )
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """A mixed pool crossing family, machine, coherence and heuristic.
+
+    Includes both machines (multi-bus baseline and the single-bus
+    slow-memory config), all three coherence modes, both heuristics,
+    and an Attraction-Buffers config — every structurally distinct
+    stepper path shares batches with every other.
+    """
+    pool = [
+        _compile("stream", BASELINE_CONFIG,
+                 CoherenceMode.NONE, Heuristic.MINCOMS, seed=3),
+        _compile("gather", SLOWMEM,
+                 CoherenceMode.NONE, Heuristic.MINCOMS, seed=3),
+        _compile("chase", BASELINE_CONFIG,
+                 CoherenceMode.MDC, Heuristic.PREFCLUS, seed=3),
+        _compile("alias", SLOWMEM,
+                 CoherenceMode.DDGT, Heuristic.MINCOMS, seed=3),
+        _compile("stencil", BASELINE_CONFIG,
+                 CoherenceMode.DDGT, Heuristic.PREFCLUS, seed=3),
+        _compile("gather", SLOWMEM.with_attraction_buffers(8, 2),
+                 CoherenceMode.MDC, Heuristic.MINCOMS,
+                 size=12, mem_pct=30, seed=4),
+    ]
+    return [(c, trace_factory(ITER, seed=7)(c.ddg)) for c in pool]
+
+
+def _fingerprint(result):
+    return (json.dumps(result.stats.to_dict(), sort_keys=True)
+            + f"|violations={result.violations}")
+
+
+@pytest.fixture(scope="module")
+def events_fingerprints(workloads):
+    return [
+        _fingerprint(simulate(c, t, iterations=ITER, engine="events"))
+        for c, t in workloads
+    ]
+
+
+# ----------------------------------------------------------------------
+# Differential: batch == events over the full mixed pool
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("batch_size", [1, 3, 6])
+    def test_batch_matches_events(
+        self, workloads, events_fingerprints, batch_size
+    ):
+        results = simulate_batch(
+            workloads, iterations=ITER, batch_size=batch_size
+        )
+        assert [_fingerprint(r) for r in results] == events_fingerprints
+
+    def test_engine_batch_via_simulate(self, workloads,
+                                       events_fingerprints):
+        c, t = workloads[1]
+        got = simulate(c, t, iterations=ITER, engine="batch")
+        assert _fingerprint(got) == events_fingerprints[1]
+
+    def test_composition_independence(self, workloads,
+                                      events_fingerprints):
+        """A run's result must not depend on its batch mates."""
+        c, t = workloads[3]
+        for mates in ([], [workloads[0]], [workloads[5], workloads[2]]):
+            sim = BatchSimulator(batch_size=8)
+            run_id = sim.submit(c, t, iterations=ITER)
+            for mc, mt in mates:
+                sim.submit(mc, mt, iterations=ITER)
+            results = sim.run()
+            assert _fingerprint(results[run_id]) == events_fingerprints[3]
+
+    def test_submit_order_is_result_order(self, workloads):
+        sim = BatchSimulator(batch_size=4)
+        ids = [sim.submit(c, t, iterations=ITER) for c, t in workloads]
+        assert ids == list(range(len(workloads)))
+        results = sim.run()
+        assert len(results) == len(workloads)
+        for (c, _), result in zip(workloads, results):
+            assert result.ii == c.schedule.ii
+            assert result.iterations == ITER
+
+
+# ----------------------------------------------------------------------
+# Diagnostics
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def test_batch_diagnostics_set_but_not_serialized(self, workloads):
+        results = simulate_batch(workloads[:3], iterations=ITER,
+                                 batch_size=3)
+        for result in results:
+            assert result.stats.batch_size == 3
+            assert 0 < result.stats.batch_steps
+            payload = result.stats.to_dict()
+            assert "batch_size" not in payload
+            assert "batch_steps" not in payload
+            roundtrip = SimStats.from_dict(payload)
+            assert roundtrip.batch_size == 0
+
+    def test_events_engine_leaves_diagnostics_zero(self, workloads):
+        c, t = workloads[0]
+        result = simulate(c, t, iterations=ITER, engine="events")
+        assert result.stats.batch_size == 0
+        assert result.stats.batch_steps == 0
+
+    def test_soa_snapshot_tracks_progress(self, workloads):
+        sim = BatchSimulator(batch_size=4)
+        for c, t in workloads[:4]:
+            sim.submit(c, t, iterations=ITER)
+        results = sim.run()
+        snap = sim.snapshot()
+        # The SoA cycle is the run's final simulated cycle, which may
+        # sit past total_cycles by the memory-drain tail.
+        for final, result in zip(snap["cycles"], results):
+            assert final >= result.stats.total_cycles
+        assert all(steps > 0 for steps in snap["steps"])
+
+
+# ----------------------------------------------------------------------
+# Compat stepper: substituted MemorySystem still equivalent
+# ----------------------------------------------------------------------
+class TestCompatStepper:
+    def test_subclassed_memory_system_matches_flat(
+        self, workloads, events_fingerprints, monkeypatch
+    ):
+        class TracingMemorySystem(MemorySystem):
+            ticks = 0
+
+            def tick_begin(self, cycle):
+                TracingMemorySystem.ticks += 1
+                super().tick_begin(cycle)
+
+        monkeypatch.setattr(executor_mod, "MemorySystem",
+                            TracingMemorySystem)
+        results = simulate_batch(workloads[:2], iterations=ITER,
+                                 batch_size=2)
+        assert [_fingerprint(r) for r in results] \
+            == events_fingerprints[:2]
+        assert TracingMemorySystem.ticks > 0
+
+
+# ----------------------------------------------------------------------
+# Errors and validation
+# ----------------------------------------------------------------------
+class _BoomTrace:
+    """TraceLike double whose address stream fails mid-run."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.num_iterations = inner.num_iterations
+
+    def address(self, iid, iteration):
+        raise RuntimeError("boom")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestErrors:
+    def test_batch_size_validation(self):
+        with pytest.raises(SimulationError, match="batch_size"):
+            BatchSimulator(batch_size=0)
+
+    def test_unknown_engine(self, workloads):
+        c, t = workloads[0]
+        with pytest.raises(SimulationError, match="unknown simulation "
+                                                  "engine"):
+            simulate(c, t, iterations=ITER, engine="warp")
+        with pytest.raises(SimulationError, match="unknown simulation "
+                                                  "engine"):
+            Runner(engine="warp")
+
+    def test_iteration_validation_at_submit(self, workloads):
+        c, t = workloads[0]
+        sim = BatchSimulator()
+        with pytest.raises(SimulationError, match="at least one"):
+            sim.submit(c, t, iterations=0)
+        with pytest.raises(SimulationError, match="provides"):
+            sim.submit(c, t, iterations=ITER + 1)
+
+    def test_capture_errors_isolates_failures(self, workloads,
+                                              events_fingerprints):
+        c, t = workloads[0]
+        sim = BatchSimulator(batch_size=4)
+        sim.submit(c, _BoomTrace(t), iterations=ITER)
+        sim.submit(*workloads[1], iterations=ITER)
+        results = sim.run(capture_errors=True)
+        assert isinstance(results[0], RuntimeError)
+        assert _fingerprint(results[1]) == events_fingerprints[1]
+
+    def test_errors_raise_by_default(self, workloads):
+        c, t = workloads[0]
+        sim = BatchSimulator(batch_size=2)
+        sim.submit(c, _BoomTrace(t), iterations=ITER)
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+
+# ----------------------------------------------------------------------
+# Record-level plumbing: core + runner
+# ----------------------------------------------------------------------
+SPECS = [
+    RunSpec(benchmark="epicdec", variant="none/mincoms", scale=0.05),
+    RunSpec(benchmark="epicdec", variant="mdc/prefclus", scale=0.05),
+    RunSpec(benchmark="g721dec", variant="mdc/mincoms", scale=0.05),
+]
+
+
+def _quiet(fn, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return fn(*args, **kwargs)
+
+
+class TestRecordPlumbing:
+    @pytest.fixture(scope="class")
+    def per_spec_records(self):
+        artifacts = MemoryArtifactStore()
+        return [
+            _quiet(execute_spec, spec, artifacts=artifacts).to_dict()
+            for spec in SPECS
+        ]
+
+    def test_execute_specs_batch_matches_execute_spec(
+        self, per_spec_records
+    ):
+        artifacts = MemoryArtifactStore()
+        records = _quiet(execute_specs_batch, SPECS,
+                         artifacts=artifacts, batch_size=2)
+        assert [r.to_dict() for r in records] == per_spec_records
+
+    @pytest.mark.parametrize("parallel", [None, 2])
+    def test_runner_engine_batch_matches_events(
+        self, per_spec_records, parallel
+    ):
+        runner = Runner(store=MemoryStore(),
+                        artifacts=MemoryArtifactStore(),
+                        engine="batch", batch_size=2, parallel=parallel)
+        records = _quiet(runner.run, Plan(tuple(SPECS)))
+        assert [r.to_dict() for r in records] == per_spec_records
+
+    def test_runner_rejects_bad_batch_size(self):
+        with pytest.raises(SimulationError, match="batch_size"):
+            Runner(engine="batch", batch_size=0)
