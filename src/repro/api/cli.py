@@ -108,7 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="coherence/heuristic key, e.g. mdc/prefclus "
                             "(repeatable; default: all six)")
     p_run.add_argument("--machine", default="baseline",
-                       help="named machine config (default: baseline)")
+                       help="named machine config (default: baseline); a "
+                            "-mm<model> suffix selects a memory model")
+    p_run.add_argument("--model", action="append", dest="models",
+                       metavar="MODEL",
+                       help="memory model (repeatable; see 'repro list'; "
+                            "default: snooping)")
     p_run.add_argument("--attraction", action="store_true",
                        help="enable Attraction Buffers")
     p_run.add_argument("--loop", default=None,
@@ -166,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine-space", action="store_true",
                        help="sweep the default 2/4/8-cluster machine "
                             "space instead of the baseline alone")
+        p.add_argument("--model", action="append", dest="models",
+                       metavar="MODEL",
+                       help="memory model to cross into the sweep "
+                            "(repeatable; default: snooping)")
         p.add_argument("--csv", default=None, metavar="FILE",
                        help="write the per-family summary as CSV")
         add_common(p)
@@ -202,6 +211,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exhaustively model-check the coherence protocol")
     add_model_config(p_chk_proto)
     p_chk_proto.add_argument(
+        "--model", default="snooping", metavar="MODEL",
+        help="memory model whose protocol to check "
+             "(default: snooping)")
+    p_chk_proto.add_argument(
         "--mutation", default=None, metavar="NAME",
         help="seed a protocol bug (see repro.check.mutations); the run "
              "is then expected to find a counterexample")
@@ -222,6 +235,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="clusters (default: 2)")
     p_chk_conf.add_argument("--subblocks", type=int, default=2, metavar="K",
                             help="subblocks (default: 2)")
+    p_chk_conf.add_argument(
+        "--model", default="snooping", metavar="MODEL",
+        help="memory model to drive and replay (default: snooping)")
     p_chk_conf.add_argument("--out", default=None, metavar="FILE")
 
     p_chk_sched = check_sub.add_parser(
@@ -473,6 +489,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         attraction=args.attraction,
         scale=args.scale,
         loops=args.loop,
+        models=tuple(args.models) if args.models else "snooping",
     )
     journal = _journal(args, plan)
     with _runner(args) as runner:
@@ -576,15 +593,17 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     names = [params.name for params in scenarios]
     machines = _scenario_machines(args)
+    models = tuple(args.models) if args.models else ("snooping",)
 
     if args.action == "sweep":
-        plan = sweep_plan(names, machines, scale=args.scale)
+        plan = sweep_plan(names, machines, scale=args.scale, models=models)
         journal = _journal(args, plan)
         with _runner(args) as runner:
             result = run_sweep(
                 names,
                 machines=machines,
                 scale=args.scale,
+                models=models,
                 runner=runner,
                 journal=journal,
                 progress=_progress_printer(),
@@ -596,7 +615,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
 
     # report: re-aggregate whatever the store already holds for the plan.
-    plan = sweep_plan(names, machines, scale=args.scale)
+    plan = sweep_plan(names, machines, scale=args.scale, models=models)
     store = _store(args)
     cached = [store.get(spec.content_hash) for spec in plan]
     present = [record for record in cached if record is not None]
@@ -627,6 +646,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             mutation=args.mutation,
             max_states=args.max_states,
             disciplined_only=args.disciplined_only,
+            model=args.model,
         )
         text = report.summary()
         for counterexample in report.counterexamples:
@@ -641,7 +661,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         from repro.check.conformance import run_conformance
 
         report = run_conformance(
-            num_clusters=args.clusters, num_subblocks=args.subblocks
+            num_clusters=args.clusters, num_subblocks=args.subblocks,
+            model=args.model,
         )
         _emit(report.summary(), args.out)
         return 0 if report.ok else 1
@@ -712,6 +733,14 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     lines.extend(f"  {name}" for name in sorted(_NAMED))
     lines.append("  gen-...  (generated machine-space names, see "
                  "'repro scenarios')")
+    from repro.sim.models import DEFAULT_MODEL, MODELS
+
+    lines.append("memory models (--model, or a -mm<name> machine "
+                 "suffix):")
+    for name in sorted(MODELS):
+        model = MODELS[name]
+        default = "  [default]" if name == DEFAULT_MODEL else ""
+        lines.append(f"  {name:10s} {model.description}{default}")
     from repro.scenarios import FAMILIES
 
     lines.append("scenario families (repro scenarios): " + ", ".join(FAMILIES))

@@ -132,6 +132,7 @@ def execute_spec(spec: RunSpec,
             spec_key=spec.content_hash,
             artifacts=artifacts,
             engine=engine,
+            model=spec.model,
         )
 
 
@@ -170,6 +171,7 @@ def execute_specs_batch(
                 attraction=spec.attraction,
                 scale=spec.scale,
                 spec_key=spec.content_hash,
+                model=spec.model,
             )
             submitted = []
             for loop_spec in loops:
@@ -177,7 +179,8 @@ def execute_specs_batch(
                                     machine, spec.scale, spec.seeds,
                                     artifacts)
                 run_id = batch.submit(ctx[0], ctx[1],
-                                      iterations=ctx[2])
+                                      iterations=ctx[2],
+                                      model=spec.model)
                 submitted.append((loop_spec, ctx, run_id))
         except Exception as exc:  # compile/front-end failure: isolate
             results[idx] = exc
@@ -226,6 +229,7 @@ def execute_benchmark(
     spec_key: str = "",
     artifacts: Optional[ArtifactStore] = None,
     engine: str = "events",
+    model: str = "snooping",
 ) -> RunRecord:
     """Run every loop (or one named loop) of a benchmark on an already
     *effective* machine — interleave and Attraction Buffers applied."""
@@ -240,11 +244,12 @@ def execute_benchmark(
         attraction=attraction,
         scale=scale,
         spec_key=spec_key,
+        model=model,
     )
     for loop_spec in loops:
         record.loops.append(
             _run_loop(bench, loop_spec, variant, machine, scale, seeds,
-                      artifacts, engine)
+                      artifacts, engine, model)
         )
     return record
 
@@ -335,12 +340,13 @@ def _run_loop(
     seeds: Optional[Tuple[int, int]] = None,
     artifacts: Optional[ArtifactStore] = None,
     engine: str = "events",
+    model: str = "snooping",
 ) -> LoopRecord:
     compiled, execution, kernel_iters, iteration_floor = _prepare_loop(
         bench, spec, variant, machine, scale, seeds, artifacts
     )
     with trace.span(f"simulate:{spec.name}", cat="sim"):
         sim = simulate(compiled, execution, iterations=kernel_iters,
-                       engine=engine)
+                       engine=engine, model=model)
     return _loop_record(bench, spec, variant, compiled, sim,
                         kernel_iters, iteration_floor)

@@ -99,6 +99,7 @@ class RunRecord:
     attraction: bool = False
     scale: float = 0.5
     spec_key: str = ""
+    model: str = "snooping"
     loops: List[LoopRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -141,7 +142,7 @@ class RunRecord:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "benchmark": self.benchmark,
             "variant": self.variant,
             "machine": self.machine,
@@ -150,6 +151,11 @@ class RunRecord:
             "spec_key": self.spec_key,
             "loops": [loop.to_dict() for loop in self.loops],
         }
+        # Only non-default models are serialized, so pre-model record
+        # dicts (and their goldens) stay byte-identical.
+        if self.model != "snooping":
+            data["model"] = self.model
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
@@ -160,6 +166,7 @@ class RunRecord:
             attraction=bool(data.get("attraction", False)),
             scale=float(data.get("scale", 0.5)),
             spec_key=data.get("spec_key", ""),
+            model=data.get("model", "snooping"),
             loops=[LoopRecord.from_dict(d) for d in data.get("loops", [])],
         )
 

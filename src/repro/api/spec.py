@@ -19,7 +19,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
-from repro.arch.config import MachineConfig, named_config
+from repro.arch.config import MachineConfig, named_config, split_model_suffix
 from repro.errors import ConfigError
 from repro.hashing import digest, jsonable
 from repro.sched.pipeline import CoherenceMode, Heuristic
@@ -144,6 +144,7 @@ def spec_cache_key(
     scale: float,
     loop: Optional[str],
     seeds: Optional[Tuple[int, int]],
+    model: str = "snooping",
 ) -> str:
     """The canonical cache key for one unit of work.
 
@@ -152,8 +153,11 @@ def spec_cache_key(
     collide only for byte-identical work.  Single source of truth for
     both :attr:`RunSpec.content_hash` and the legacy ``run_benchmark``
     shim's ad-hoc-config path.
+
+    The memory model enters the digest only when it is not the default
+    snooping protocol, so every pre-model cache entry keeps its key.
     """
-    return _digest({
+    payload = {
         "benchmark": benchmark,
         "variant": variant,
         "machine": machine_fingerprint(machine),
@@ -161,7 +165,10 @@ def spec_cache_key(
         "loop": loop,
         "seeds": seeds,
         "profile_iterations": PROFILE_ITERATIONS,
-    })
+    }
+    if model != "snooping":
+        payload["model"] = model
+    return _digest(payload)
 
 
 # ----------------------------------------------------------------------
@@ -182,7 +189,11 @@ class RunSpec:
       0.5 at construction time, so the spec is self-contained);
     * ``loop`` — restrict to one loop of the benchmark (``None`` = all);
     * ``seeds`` — ``(profile_seed, execute_seed)`` override (``None`` =
-      the benchmark's calibrated seeds).
+      the benchmark's calibrated seeds);
+    * ``model`` — the memory model simulated (see
+      :mod:`repro.sim.models`); also accepted as a lexical
+      ``-mm<model>`` suffix on ``machine`` (e.g. ``"baseline-mmdls"``),
+      which is split off at construction time.
     """
 
     benchmark: str
@@ -192,10 +203,23 @@ class RunSpec:
     scale: Optional[float] = None
     loop: Optional[str] = None
     seeds: Optional[Tuple[int, int]] = None
+    model: str = "snooping"
 
     def __post_init__(self) -> None:
         variant = parse_variant(self.variant)
         object.__setattr__(self, "variant", variant.key)
+        machine, suffix_model = split_model_suffix(self.machine)
+        if suffix_model is not None:
+            if self.model not in ("snooping", suffix_model):
+                raise ConfigError(
+                    f"conflicting memory models: machine suffix "
+                    f"-mm{suffix_model} vs model={self.model!r}"
+                )
+            object.__setattr__(self, "machine", machine)
+            object.__setattr__(self, "model", suffix_model)
+        from repro.sim.models import named_model
+
+        named_model(self.model)  # fail fast on unknown models
         scale = self.scale
         if scale is None:
             scale = default_scale()
@@ -235,6 +259,7 @@ class RunSpec:
             scale=self.scale,
             loop=self.loop,
             seeds=self.seeds,
+            model=self.model,
         )
 
     @property
@@ -244,8 +269,8 @@ class RunSpec:
         Two specs with equal ``frontend_key`` share their unrolling,
         disambiguation and preferred-cluster profiling verbatim — the
         paper's whole 6-way coherence × heuristic cross collapses onto
-        one key.  ``scale`` is deliberately absent: it only shapes the
-        simulated execution trace, which is back-end work.  The
+        one key.  ``scale`` and ``model`` are deliberately absent: they
+        only shape the simulated execution, which is back-end work.  The
         :class:`~repro.api.runner.Runner` groups plan misses by this key
         so sibling variants land in the same worker and hit each other's
         warm artifacts.
@@ -260,7 +285,7 @@ class RunSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "benchmark": self.benchmark,
             "variant": self.variant,
             "machine": self.machine,
@@ -269,6 +294,9 @@ class RunSpec:
             "loop": self.loop,
             "seeds": list(self.seeds) if self.seeds is not None else None,
         }
+        if self.model != "snooping":
+            data["model"] = self.model
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
@@ -281,12 +309,15 @@ class RunSpec:
             scale=data.get("scale"),
             loop=data.get("loop"),
             seeds=tuple(seeds) if seeds is not None else None,
+            model=data.get("model", "snooping"),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         extras = []
         if self.machine != "baseline":
             extras.append(self.machine)
+        if self.model != "snooping":
+            extras.append(f"model={self.model}")
         if self.attraction:
             extras.append("+ab")
         if self.loop:
@@ -349,12 +380,13 @@ class Plan:
         scale: Optional[float] = None,
         loops: Union[str, Iterable[Optional[str]], None] = None,
         seeds: Optional[Tuple[int, int]] = None,
+        models: Union[str, Iterable[str]] = "snooping",
     ) -> "Plan":
         """Cartesian sweep, in deterministic (benchmark-major) order.
 
         Every argument accepts either a scalar or an iterable; the
-        product iterates benchmarks, then machines, then attraction
-        settings, then variants, then loops.
+        product iterates benchmarks, then machines, then memory models,
+        then attraction settings, then variants, then loops.
         """
         bench_names = (
             tuple(EVALUATED) if benchmarks is None
@@ -367,6 +399,7 @@ class Plan:
         machine_names = _as_tuple(machines, str)
         ab_settings = _as_tuple(attraction, bool)
         loop_names = _as_tuple(loops, str)
+        model_names = _as_tuple(models, str)
         specs = [
             RunSpec(
                 benchmark=bench,
@@ -376,9 +409,11 @@ class Plan:
                 scale=scale,
                 loop=loop,
                 seeds=seeds,
+                model=model,
             )
             for bench in bench_names
             for machine in machine_names
+            for model in model_names
             for ab in ab_settings
             for variant in variant_keys
             for loop in loop_names

@@ -89,6 +89,7 @@ class GridSeries:
     loop: Optional[str] = None
     engine: str = "events"
     batch_size: Optional[int] = None
+    model: str = "snooping"
 
     def plan(self) -> Plan:
         return Plan.grid(
@@ -97,6 +98,7 @@ class GridSeries:
             machines=list(self.machines),
             scale=self.scale,
             loops=self.loop,
+            models=self.model,
         )
 
 
@@ -167,6 +169,13 @@ class GridConfig:
                         f"series {key!r}: batch_size must be >= 1, "
                         f"got {batch_size}"
                     )
+            model = str(entry.get("model", "snooping"))
+            from repro.sim.models import model_names
+            if model not in model_names():
+                raise WorkloadError(
+                    f"series {key!r} names unknown memory model "
+                    f"{model!r}; expected one of {model_names()}"
+                )
             series.append(GridSeries(
                 key=key,
                 benchmarks=[str(b) for b in benchmarks],
@@ -178,6 +187,7 @@ class GridConfig:
                 loop=entry.get("loop"),
                 engine=engine,
                 batch_size=batch_size,
+                model=model,
             ))
         seen: Dict[str, int] = {}
         for s in series:

@@ -28,8 +28,10 @@ from repro.check.explorer import CheckReport, Counterexample, check_protocol
 from repro.check.model import ModelOp, ProtocolModel, enumerate_programs
 from repro.check.mutations import MUTATIONS
 from repro.check.schedule_lint import LintFinding, lint_compilation
+from repro.check.variants import CHECK_MODELS, named_check_model
 
 __all__ = [
+    "CHECK_MODELS",
     "CheckReport",
     "Counterexample",
     "LintFinding",
@@ -39,4 +41,5 @@ __all__ = [
     "check_protocol",
     "enumerate_programs",
     "lint_compilation",
+    "named_check_model",
 ]

@@ -52,9 +52,10 @@ from repro.sim.stats import SimStats
 #: simulator trace kinds that open a new model transition (everything
 #: else — observe/apply/fill-time send_response — is that transition's
 #: payload).
-_DRIVER_KINDS = frozenset(
-    {"local", "remote_issue", "home_request", "deliver_response", "fill"}
-)
+_DRIVER_KINDS = frozenset({
+    "local", "remote_issue", "home_request", "deliver_response", "fill",
+    "forward_issue", "forward", "owner_request",
+})
 
 _LOCAL_NAMES = {
     "hit": "issue_local_hit",
@@ -65,6 +66,11 @@ _REQUEST_NAMES = {
     "hit": "deliver_request_hit",
     "miss": "deliver_request_miss",
     "combine": "deliver_request_combine",
+}
+_FORWARD_NAMES = {
+    "hit": "deliver_forward_hit",
+    "miss": "deliver_forward_miss",
+    "combine": "deliver_forward_combine",
 }
 
 
@@ -105,6 +111,9 @@ class ConformanceReport:
 
     num_clusters: int
     num_subblocks: int
+    model: str = "snooping"
+    #: the checked model's core transition names (its coverage target)
+    core: Tuple[str, ...] = CORE_TRANSITIONS
     runs: int = 0
     programs: int = 0
     transitions: int = 0
@@ -112,7 +121,7 @@ class ConformanceReport:
     coverage: Dict[str, int] = field(default_factory=dict)
 
     def missing_transitions(self) -> List[str]:
-        return [t for t in CORE_TRANSITIONS if not self.coverage.get(t)]
+        return [t for t in self.core if not self.coverage.get(t)]
 
     @property
     def ok(self) -> bool:
@@ -121,12 +130,12 @@ class ConformanceReport:
     def summary(self) -> str:
         lines = [
             f"configuration      : {self.num_clusters} clusters x "
-            f"{self.num_subblocks} subblocks",
+            f"{self.num_subblocks} subblocks, model={self.model}",
             f"programs driven    : {self.programs} ({self.runs} runs)",
             f"transitions agreed : {self.transitions}",
             "transition coverage:",
         ]
-        for name in CORE_TRANSITIONS:
+        for name in self.core:
             lines.append(f"  {name:24s} {self.coverage.get(name, 0)}")
         missing = self.missing_transitions()
         verdict = (
@@ -270,6 +279,62 @@ class ConformanceBridge:
                     f"{queue[0] if queue else 'empty'}"
                 )
             self._step(_REQUEST_NAMES[disposition], (src, 0), payload)
+        elif kind == "forward_issue":
+            _tag, cluster, block, opkind, ref = event
+            op = self._decode_op(opkind, ref)
+            if (
+                op.cluster != cluster
+                or op.subblock != block
+                or self.model.home(block) != cluster
+                or self.model.data_home(block) == cluster
+            ):
+                self._fail(f"{op.label} issued as {event!r}")
+            self._step("issue_forward", (op.index,), payload)
+        elif kind == "forward":
+            _tag, home, owner, src, block, opkind, ref = event
+            op = self._decode_op(opkind, ref)
+            if (
+                self.model.home(block) != home
+                or self.model.data_home(block) != owner
+            ):
+                self._fail(f"misrouted forward {event!r}")
+            expected_head = (
+                ("req_ld", block, (op.index,))
+                if op.is_load
+                else ("req_st", block, op.index)
+            )
+            queue = self.state.queues[src]
+            if not queue or queue[0] != expected_head:
+                self._fail(
+                    f"home c{home} forwarded {expected_head} from c{src} "
+                    f"but the model FIFO head is "
+                    f"{queue[0] if queue else 'empty'}"
+                )
+            self._step("deliver_request_forward", (src, 0), payload)
+        elif kind == "owner_request":
+            _tag, owner, src, block, opkind, ref, disposition = event
+            op = self._decode_op(opkind, ref)
+            if self.model.data_home(block) != owner:
+                self._fail(f"forward served away from the owner: {event!r}")
+            expected_head = (
+                ("fwd_ld", block, (op.index,), src)
+                if op.is_load
+                else ("fwd_st", block, op.index)
+            )
+            # The forward sits in the FIFO of whoever sent it: the
+            # requester itself (issue_forward) or the directory home
+            # (deliver_request_forward).
+            for source in dict.fromkeys((src, self.model.home(block))):
+                queue = self.state.queues[source]
+                if queue and queue[0] == expected_head:
+                    self._step(
+                        _FORWARD_NAMES[disposition], (source, 0), payload
+                    )
+                    return
+            self._fail(
+                f"owner c{owner} served {expected_head} but no model FIFO "
+                f"has it at its head"
+            )
         elif kind == "send_response":
             _tag, home, block, iids, _deferred = event
             ready = self.state.pending[home]
@@ -282,7 +347,7 @@ class ConformanceBridge:
             self._step("send_response", (home,), payload)
         elif kind == "deliver_response":
             _tag, requester, block, iids = event
-            home = self.model.home(block)
+            home = self.model.data_home(block)
             queue = self.state.queues[home]
             if (
                 not queue
@@ -298,13 +363,24 @@ class ConformanceBridge:
             self._step("deliver_response", (home,), payload)
         else:  # fill
             _tag, cluster, block = event
-            if self.model.home(block) != cluster:
+            if self.model.data_home(block) != cluster:
                 self._fail(f"fill of sb{block} landed at cluster {cluster}")
             self._step("fill_complete", (block,), payload)
 
     # ------------------------------------------------------------------
-    def finish(self, memory: MemorySystem, machine: MachineConfig) -> None:
-        """Compare the drained final states of simulator and model."""
+    def finish(
+        self,
+        memory: MemorySystem,
+        machine: MachineConfig,
+        address_fn=None,
+    ) -> None:
+        """Compare the drained final states of simulator and model.
+
+        ``address_fn(machine, sb)`` maps model subblocks to the driven
+        addresses (default: the snooping scheme of
+        :func:`subblock_address`)."""
+        if address_fn is None:
+            address_fn = subblock_address
         for op in self.model.program:
             if self.state.ops[op.index][0] != COMPLETE:
                 self._fail(
@@ -319,8 +395,8 @@ class ConformanceBridge:
                 "drained"
             )
         for sb in range(self.model.num_subblocks):
-            home = self.model.home(sb)
-            addr = subblock_address(machine, sb)
+            home = self.model.data_home(sb)
+            addr = address_fn(machine, sb)
             # Reaching into the memory system's version book is the whole
             # point of the bridge: it is the simulator's ground truth.
             sim_version = _norm(
@@ -349,6 +425,8 @@ def run_program(
     machine: Optional[MachineConfig] = None,
     num_subblocks: Optional[int] = None,
     max_cycles: int = 10_000,
+    model: str = "snooping",
+    memory_factory=None,
 ) -> ConformanceBridge:
     """Drive one program through the simulator at the given issue cycles
     and replay its trace through the model.
@@ -356,7 +434,17 @@ def run_program(
     ``schedule[i]`` is the cycle op ``i`` issues; within one (cluster,
     subblock) chain cycles must be non-decreasing in program order (the
     in-order memory unit the model's issue guard encodes).
+
+    ``model`` selects which registered memory model is driven and which
+    check model replays it; ``memory_factory(machine, stats, trace)``
+    overrides how the memory system is built (by default the model's
+    registry ``build()``), e.g. to bridge an instrumented subclass.
     """
+    from repro.check.variants import named_check_model
+    from repro.sim.models import named_model
+
+    model_impl = named_model(model)
+    check_cls = named_check_model(model)
     if machine is None:
         machine = conformance_machine()
     if num_subblocks is None:
@@ -366,7 +454,10 @@ def run_program(
 
     events: List[tuple] = []
     completed: set = set()
-    memory = MemorySystem(machine, SimStats(), trace=events.append)
+    if memory_factory is None:
+        memory = model_impl.build(machine, SimStats(), trace=events.append)
+    else:
+        memory = memory_factory(machine, SimStats(), events.append)
     by_cycle: Dict[int, List[ModelOp]] = defaultdict(list)
     for op, cycle in zip(program, schedule):
         by_cycle[cycle].append(op)
@@ -376,7 +467,7 @@ def run_program(
     while True:
         memory.tick_begin(cycle)
         for op in by_cycle.get(cycle, ()):
-            addr = subblock_address(machine, op.subblock)
+            addr = model_impl.conformance_address(machine, op.subblock)
             if op.is_load:
                 memory.load(
                     op.cluster, addr, machine.interleave_bytes,
@@ -406,10 +497,12 @@ def run_program(
             "simulator"
         )
 
-    model = ProtocolModel(machine.num_clusters, num_subblocks, program)
-    bridge = ConformanceBridge(model)
+    check_model = check_cls(machine.num_clusters, num_subblocks, program)
+    bridge = ConformanceBridge(check_model)
     bridge.replay(events)
-    bridge.finish(memory, machine)
+    bridge.finish(
+        memory, machine, address_fn=model_impl.conformance_address
+    )
     return bridge
 
 
@@ -432,13 +525,20 @@ def run_conformance(
     op_counts: Iterable[int] = (2, 3),
     programs: Optional[Iterable[Tuple[ModelOp, ...]]] = None,
     schedules: Optional[List[Tuple[int, ...]]] = None,
+    model: str = "snooping",
+    memory_factory=None,
 ) -> ConformanceReport:
     """Run the full battery; raises :class:`~repro.errors.CheckError` on
     the first simulator/model disagreement, returns the coverage report
     otherwise (``report.ok`` asserts every core transition fired)."""
+    from repro.check.variants import named_check_model
+
     machine = conformance_machine(num_clusters)
     report = ConformanceReport(
-        num_clusters=num_clusters, num_subblocks=num_subblocks
+        num_clusters=num_clusters,
+        num_subblocks=num_subblocks,
+        model=model,
+        core=named_check_model(model).core_transitions(),
     )
     started = time.perf_counter()
     if programs is None:
@@ -454,7 +554,8 @@ def run_conformance(
         for schedule in (schedules or issue_schedules(len(program))):
             bridge = run_program(
                 program, schedule, machine=machine,
-                num_subblocks=num_subblocks,
+                num_subblocks=num_subblocks, model=model,
+                memory_factory=memory_factory,
             )
             report.runs += 1
             report.transitions += bridge.transitions

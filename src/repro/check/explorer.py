@@ -75,6 +75,7 @@ class CheckReport:
     num_subblocks: int
     op_count: int
     mutation: Optional[str]
+    model: str = "snooping"
     programs: int = 0
     disciplined_programs: int = 0
     states: int = 0
@@ -98,6 +99,7 @@ class CheckReport:
         lines = [
             f"configuration      : {self.num_clusters} clusters x "
             f"{self.num_subblocks} subblocks x {self.op_count} ops"
+            + (f", model={self.model}" if self.model != "snooping" else "")
             + (f", mutation={self.mutation}" if self.mutation else ""),
             f"programs explored  : {self.programs} "
             f"({self.disciplined_programs} disciplined)"
@@ -228,6 +230,7 @@ def check_protocol(
     stop_on_violation: bool = True,
     disciplined_only: bool = False,
     programs: Optional[Iterable[Tuple[ModelOp, ...]]] = None,
+    model: str = "snooping",
 ) -> CheckReport:
     """Exhaustively check every program of the configuration.
 
@@ -235,13 +238,18 @@ def check_protocol(
     smoke budget); ``disciplined_only`` restricts the sweep to programs
     the coherence solutions actually produce (faster mutation hunting);
     ``programs`` substitutes an explicit program list for the full
-    enumeration.
+    enumeration; ``model`` selects the memory model's check model
+    (:mod:`repro.check.variants`).
     """
+    from repro.check.variants import named_check_model
+
+    model_cls = named_check_model(model)
     report = CheckReport(
         num_clusters=num_clusters,
         num_subblocks=num_subblocks,
         op_count=op_count,
         mutation=mutation,
+        model=model,
     )
     started = time.perf_counter()
     if programs is None:
@@ -256,7 +264,7 @@ def check_protocol(
             if budget <= 0:
                 report.truncated = True
                 break
-        model = ProtocolModel(
+        model = model_cls(
             num_clusters, num_subblocks, program, mutation=mutation
         )
         states, transitions, races, truncated, counterexample = (

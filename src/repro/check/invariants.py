@@ -45,22 +45,39 @@ from repro.check.model import (
     UNISSUED,
 )
 
+#: Message kinds carrying a tuple of load ops at position 2 (``fwd_*``
+#: are the directory model's home->owner forwards; see
+#: :mod:`repro.check.variants`).
+PER_OP_KINDS = frozenset({"req_ld", "fwd_ld"})
+#: Message kinds carrying a single store op index at position 2.
+FLAT_KINDS = frozenset({"req_st", "fwd_st"})
+
 #: Drain-measure weights.  Chosen so that every non-issue transition is
 #: strictly decreasing: each protocol step turns an artifact into
-#: strictly lighter ones (e.g. serving a read request, weight 4/op,
-#: leaves a ready response, weight 2, which becomes a response message,
-#: weight 1, which vanishes at delivery).
-W_REQ_LD = 4      # per load carried by a read request message
-W_REQ_ST = 3      # a store request message
-W_RESP = 1        # a response message (any op count)
-W_READY = 2       # a ready (not yet sent) probe-hit response
-W_RESPOND = 2     # a deferred "respond" MSHR action
-W_LOCAL = 1       # a deferred local load/store MSHR action
-W_FILL = 1        # an in-flight next-level fill (MSHR entry open)
+#: strictly lighter ones (e.g. serving a read request, weight 8/op,
+#: leaves a ready response, weight 4, which becomes a response message,
+#: weight 2, which vanishes at delivery).  The directory model inserts
+#: one more rung per family — a request forwarded to the owner becomes a
+#: ``fwd_*`` message, one lighter per carried op than the request it
+#: came from, and a forwarded load that opens an MSHR entry turns
+#: ``fwd_ld`` (7/op) into respond actions (4/op) plus one fill (2), a
+#: strict decrease already at a single op.
+W_REQ_LD = 8      # per load carried by a read request message
+W_FWD_LD = 7      # per load carried by a forwarded read (directory)
+W_REQ_ST = 6      # a store request message
+W_FWD_ST = 5      # a forwarded store message (directory)
+W_RESP = 2        # a response message (any op count)
+W_READY = 4       # a ready (not yet sent) probe-hit response
+W_RESPOND = 4     # a deferred "respond" MSHR action
+W_LOCAL = 2       # a deferred local load/store MSHR action
+W_FILL = 2        # an in-flight next-level fill (MSHR entry open)
 
 #: Largest measure increase any single issue transition can cause
 #: (a remote load request).
 MAX_ISSUE_DELTA = W_REQ_LD
+
+_MESSAGE_WEIGHTS = {"req_ld": W_REQ_LD, "fwd_ld": W_FWD_LD,
+                    "req_st": W_REQ_ST, "fwd_st": W_FWD_ST}
 
 
 def measure(state: State) -> int:
@@ -68,10 +85,11 @@ def measure(state: State) -> int:
     total = 0
     for queue in state.queues:
         for message in queue:
-            if message[0] == "req_ld":
-                total += W_REQ_LD * len(message[2])
-            elif message[0] == "req_st":
-                total += W_REQ_ST
+            kind = message[0]
+            if kind in PER_OP_KINDS:
+                total += _MESSAGE_WEIGHTS[kind] * len(message[2])
+            elif kind in FLAT_KINDS:
+                total += _MESSAGE_WEIGHTS[kind]
             else:
                 total += W_RESP
     for ready in state.pending:
@@ -97,12 +115,9 @@ def state_violations(model: ProtocolModel, state: State) -> List[str]:
     carriers = [0] * len(model.program)
     for queue in state.queues:
         for message in queue:
-            if message[0] == "req_ld":
-                for op in message[2]:
-                    carriers[op] += 1
-            elif message[0] == "req_st":
+            if message[0] in FLAT_KINDS:
                 carriers[message[2]] += 1
-            else:
+            else:  # req_ld / fwd_ld / resp all carry an op tuple
                 for op in message[2]:
                     carriers[op] += 1
     for ready in state.pending:

@@ -141,7 +141,34 @@ class ProtocolModel:
 
     ``mutation`` selects a seeded protocol bug from
     :mod:`repro.check.mutations` (``None`` = the faithful protocol).
+
+    Subclasses (:mod:`repro.check.variants`) model other memory models
+    by overriding the placement hooks (:meth:`home`, :meth:`data_home`,
+    :meth:`is_local`) and/or substituting their own ``TRANSITION_TABLE``
+    class attribute; the state shape, the invariants and the explorer
+    are shared.
     """
+
+    #: The protocol's transition table.  Assigned after the module-level
+    #: table is built (the actions are module functions); subclasses
+    #: override it with their own tuple of :class:`GuardedAction`.
+    TRANSITION_TABLE: Tuple["GuardedAction", ...] = ()
+
+    @classmethod
+    def table_by_name(cls) -> dict:
+        """Name -> entry index of this class's table (cached per class)."""
+        cached = cls.__dict__.get("_table_by_name")
+        if cached is None:
+            cached = {entry.name: entry for entry in cls.TRANSITION_TABLE}
+            cls._table_by_name = cached
+        return cached
+
+    @classmethod
+    def core_transitions(cls) -> Tuple[str, ...]:
+        """Transition names of the faithful (unmutated) protocol."""
+        return tuple(
+            e.name for e in cls.TRANSITION_TABLE if e.mutation_only is None
+        )
 
     def __init__(
         self,
@@ -173,7 +200,14 @@ class ProtocolModel:
 
     # ------------------------------------------------------------------
     def home(self, sb: int) -> int:
+        """The cluster requests for ``sb`` are sent to."""
         return sb % self.num_clusters
+
+    def data_home(self, sb: int) -> int:
+        """The cluster that actually holds ``sb`` — the serialization
+        point.  Equal to :meth:`home` in the snooping protocol; the
+        distributed-directory variant decouples the two."""
+        return self.home(sb)
 
     def is_local(self, op: ModelOp) -> bool:
         return self.home(op.subblock) == op.cluster
@@ -197,7 +231,7 @@ class ProtocolModel:
     def enabled(self, state: State) -> List[Transition]:
         """Every transition instance whose guard holds in ``state``."""
         out: List[Transition] = []
-        for entry in TRANSITION_TABLE:
+        for entry in type(self).TRANSITION_TABLE:
             if entry.mutation_only is not None and (
                 entry.mutation_only != self.mutation
             ):
@@ -210,21 +244,21 @@ class ProtocolModel:
         self, state: State, transition: Transition
     ) -> Tuple[State, List[Event]]:
         """Fire ``transition``; returns the successor and its events."""
-        entry = TABLE_BY_NAME[transition.name]
+        entry = self.table_by_name()[transition.name]
         return entry.apply(self, state, transition.args)
 
     # ------------------------------------------------------------------
     # Rendering (counterexample traces)
     # ------------------------------------------------------------------
     def describe_transition(self, t: Transition) -> str:
-        entry = TABLE_BY_NAME[t.name]
+        entry = self.table_by_name()[t.name]
         return entry.describe(self, t.args)
 
     def describe_state(self, state: State) -> str:
         parts = []
         names = {ABSENT: "absent", CLEAN: "clean", DIRTY: "dirty"}
         for sb in range(self.num_subblocks):
-            bits = f"sb{sb}@c{self.home(sb)}={names[state.cache[sb]]}" \
+            bits = f"sb{sb}@c{self.data_home(sb)}={names[state.cache[sb]]}" \
                    f" v{state.versions[sb]}"
             if state.mshr[sb]:
                 bits += " mshr=" + ",".join(
@@ -259,12 +293,12 @@ def _action_label(action: tuple) -> str:
 
 
 def _message_label(message: tuple) -> str:
-    if message[0] == "req_ld":
-        return "req_ld(sb%d,%s)" % (
-            message[1], "+".join(f"op{o}" for o in message[2])
+    if message[0] in ("req_ld", "fwd_ld"):
+        return "%s(sb%d,%s)" % (
+            message[0], message[1], "+".join(f"op{o}" for o in message[2])
         )
-    if message[0] == "req_st":
-        return f"req_st(sb{message[1]},op{message[2]})"
+    if message[0] in ("req_st", "fwd_st"):
+        return f"{message[0]}(sb{message[1]},op{message[2]})"
     return "resp(sb%d,%s,v%d)" % (
         message[1], "+".join(f"op{o}" for o in message[2]), message[3]
     )
@@ -504,7 +538,7 @@ def _a_request_hit(model, state, args):
     src, pos = args
     message = state.queues[src][pos]
     sb = message[1]
-    home = model.home(sb)
+    home = model.data_home(sb)
     state = state._replace(queues=_pop(state.queues, src, pos))
     events: List[Event] = []
     if message[0] == "req_ld":
@@ -566,7 +600,7 @@ def _a_request_premature(model, state, args):
     src, pos = args
     message = state.queues[src][pos]
     sb = message[1]
-    home = model.home(sb)
+    home = model.data_home(sb)
     state = state._replace(queues=_pop(state.queues, src, pos))
     events: List[Event] = []
     if message[0] == "req_ld":
@@ -635,7 +669,7 @@ def _a_fill(model, state, args):
     produced here enter the bus queue directly: the simulator sends
     fill-time responses in the fill cycle itself."""
     sb = args[0]
-    home = model.home(sb)
+    home = model.data_home(sb)
     actions = state.mshr[sb]
     state = state._replace(
         cache=_set(state.cache, sb, CLEAN),
@@ -743,12 +777,14 @@ TRANSITION_TABLE: Tuple[GuardedAction, ...] = (
     ),
 )
 
-TABLE_BY_NAME = {entry.name: entry for entry in TRANSITION_TABLE}
+ProtocolModel.TRANSITION_TABLE = TRANSITION_TABLE
 
-#: Transition names of the faithful (unmutated) protocol.
-CORE_TRANSITIONS: Tuple[str, ...] = tuple(
-    e.name for e in TRANSITION_TABLE if e.mutation_only is None
-)
+#: Module-level aliases of the snooping table's lookups, kept for
+#: importers that predate per-class tables (use
+#: :meth:`ProtocolModel.table_by_name` / ``core_transitions`` for
+#: model-generic code).
+TABLE_BY_NAME = ProtocolModel.table_by_name()
+CORE_TRANSITIONS: Tuple[str, ...] = ProtocolModel.core_transitions()
 
 
 # ----------------------------------------------------------------------

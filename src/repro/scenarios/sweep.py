@@ -54,7 +54,7 @@ def _is_free(variant: str) -> bool:
 
 @dataclass(frozen=True)
 class FamilySummary:
-    """Aggregate metrics of one (family, variant) cell of a sweep."""
+    """Aggregate metrics of one (family, variant, model) cell of a sweep."""
 
     family: str
     variant: str
@@ -64,18 +64,19 @@ class FamilySummary:
     mean_local_hit: float
     mean_bus_per_iter: float
     violations: int
+    model: str = "snooping"
 
     def row(self) -> List[object]:
         return [
             self.family, self.variant, self.runs, self.mean_ii,
             self.mean_ipc, self.mean_local_hit, self.mean_bus_per_iter,
-            self.violations,
+            self.violations, self.model,
         ]
 
 
 SUMMARY_COLUMNS = (
     "family", "variant", "runs", "mean_ii", "mean_ipc", "mean_local_hit",
-    "mean_bus_per_iter", "violations",
+    "mean_bus_per_iter", "violations", "model",
 )
 
 
@@ -91,9 +92,9 @@ class SweepResult:
     summaries: List[FamilySummary] = field(default_factory=list)
     #: Human-readable description of every differential-check failure.
     anomalies: List[str] = field(default_factory=list)
-    #: (benchmark, variant, machine) -> violation count, free mode only —
-    #: the violations the optimistic baseline is *expected* to show.
-    free_violations: Dict[Tuple[str, str, str], int] = field(
+    #: (benchmark, variant, machine, model) -> violation count, free mode
+    #: only — the violations the optimistic baseline is *expected* to show.
+    free_violations: Dict[Tuple[str, str, str, str], int] = field(
         default_factory=dict
     )
 
@@ -137,7 +138,7 @@ class SweepResult:
             writer.writerow([
                 s.family, s.variant, s.runs, f"{s.mean_ii:.3f}",
                 f"{s.mean_ipc:.4f}", f"{s.mean_local_hit:.4f}",
-                f"{s.mean_bus_per_iter:.3f}", s.violations,
+                f"{s.mean_bus_per_iter:.3f}", s.violations, s.model,
             ])
         return out.getvalue()
 
@@ -152,8 +153,9 @@ def sweep_plan(
     machines: Optional[Sequence[str]] = None,
     variants: Sequence[str] = DIFFERENTIAL_VARIANTS,
     scale: Optional[float] = None,
+    models: Sequence[str] = ("snooping",),
 ) -> Plan:
-    """The full scenario x machine x variant grid as a ``Plan``."""
+    """The full scenario x machine x variant x model grid as a ``Plan``."""
     for name in scenarios:
         ScenarioParams.parse(name)  # fail fast on malformed names
     return Plan.grid(
@@ -161,6 +163,7 @@ def sweep_plan(
         variants=list(variants),
         machines=resolve_machines(machines),
         scale=scale,
+        models=list(models),
     )
 
 
@@ -170,17 +173,28 @@ def summarize(records: Sequence[RunRecord]) -> SweepResult:
     Standalone so callers holding warm-store records (e.g. the ``report``
     CLI verb) can re-aggregate without re-running anything.
     """
-    grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+    grouped: Dict[Tuple[str, str, str], List[RunRecord]] = {}
     anomalies: List[str] = []
-    free_violations: Dict[Tuple[str, str, str], int] = {}
+    free_violations: Dict[Tuple[str, str, str, str], int] = {}
     for record in records:
         family = scenario_family(record.benchmark)
-        grouped.setdefault((family, record.variant), []).append(record)
+        cell_key = (family, record.variant, record.model)
+        grouped.setdefault(cell_key, []).append(record)
         if _is_free(record.variant):
-            key = (record.benchmark, record.variant, record.machine)
+            key = (
+                record.benchmark, record.variant, record.machine,
+                record.model,
+            )
             free_violations[key] = record.violations
         elif record.violations:
             coherence, _, heuristic = record.variant.partition("/")
+            # Echo the memory model so the repro command replays the
+            # exact run; omitted for the default to keep the command
+            # (and the pinned tests) stable for snooping sweeps.
+            model_arg = (
+                "" if record.model == "snooping"
+                else f" --model {record.model}"
+            )
             anomalies.append(
                 f"scenario={record.benchmark} coherence={coherence} "
                 f"heuristic={heuristic} machine={record.machine}: "
@@ -188,17 +202,22 @@ def summarize(records: Sequence[RunRecord]) -> SweepResult:
                 f"scheduling may violate) — reproduce with: "
                 f"repro run {record.benchmark} -v {record.variant} "
                 f"--machine {record.machine} --scale {record.scale:g}"
+                f"{model_arg}"
             )
 
+    models = sorted({record.model for record in records})
     summaries: List[FamilySummary] = []
     for family in FAMILIES:
         for variant in DIFFERENTIAL_VARIANTS:
-            cell = grouped.pop((family, variant), None)
-            if cell:
-                summaries.append(_summarize_cell(family, variant, cell))
+            for model in models:
+                cell = grouped.pop((family, variant, model), None)
+                if cell:
+                    summaries.append(
+                        _summarize_cell(family, variant, model, cell)
+                    )
     # Cells outside the canonical family/variant grid (custom variants).
-    for (family, variant), cell in sorted(grouped.items()):
-        summaries.append(_summarize_cell(family, variant, cell))
+    for (family, variant, model), cell in sorted(grouped.items()):
+        summaries.append(_summarize_cell(family, variant, model, cell))
 
     scenarios = sorted({r.benchmark for r in records})
     machines = sorted({r.machine for r in records})
@@ -216,7 +235,7 @@ def summarize(records: Sequence[RunRecord]) -> SweepResult:
 
 
 def _summarize_cell(
-    family: str, variant: str, cell: List[RunRecord]
+    family: str, variant: str, model: str, cell: List[RunRecord]
 ) -> FamilySummary:
     iis: List[int] = []
     ipcs: List[float] = []
@@ -244,6 +263,7 @@ def _summarize_cell(
         mean_local_hit=_mean(hits),
         mean_bus_per_iter=_mean(bus_rates),
         violations=violations,
+        model=model,
     )
 
 
@@ -261,6 +281,7 @@ def run_sweep(
     machines: Optional[Sequence[str]] = None,
     variants: Sequence[str] = DIFFERENTIAL_VARIANTS,
     scale: Optional[float] = None,
+    models: Sequence[str] = ("snooping",),
     runner: Optional[Runner] = None,
     journal=None,
     progress=None,
@@ -299,7 +320,7 @@ def run_sweep(
         runner.engine = engine
         if batch_size is not None:
             runner.batch_size = batch_size
-    plan = sweep_plan(scenarios, machines, variants, scale)
+    plan = sweep_plan(scenarios, machines, variants, scale, models)
     with trace.span("sweep", cat="sweep", scenarios=len(scenarios),
                     runs=len(plan)):
         records = runner.run(plan, journal=journal, progress=progress)

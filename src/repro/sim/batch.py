@@ -69,6 +69,7 @@ from repro.sim.executor import (
 )
 from repro.sim.flatmem import PARK_MIN_JUMP, flat_stepper
 from repro.sim.memory import MemorySystem
+from repro.sim.models import named_model
 from repro.sim.stats import SimStats
 
 #: Default number of runs co-scheduled per process.
@@ -252,10 +253,10 @@ class _Run:
     """Per-run context the scheduler holds outside the stepper frame."""
 
     __slots__ = ("gen", "memory", "stats", "checker", "schedule",
-                 "n_iter", "flush_abs", "steps", "out")
+                 "n_iter", "flush_abs", "steps", "out", "model")
 
     def __init__(self, gen, memory, stats, checker, schedule, n_iter,
-                 flush_abs, out):
+                 flush_abs, out, model="snooping"):
         self.gen = gen
         #: the compat stepper's MemorySystem; None under the flat stepper
         self.memory = memory
@@ -267,6 +268,7 @@ class _Run:
         self.steps = 0
         #: flat-stepper exit diagnostics (per-bus busy cycles)
         self.out = out
+        self.model = model
 
 
 class BatchSimulator:
@@ -316,6 +318,7 @@ class BatchSimulator:
         *,
         check_coherence: bool = True,
         flush_abs: bool = True,
+        model: str = "snooping",
     ) -> int:
         """Queue one run; returns its run id (= result index)."""
         n_iter = trc.num_iterations if iterations is None else iterations
@@ -326,8 +329,9 @@ class BatchSimulator:
                 f"trace provides {trc.num_iterations} iterations, "
                 f"{n_iter} requested"
             )
+        named_model(model)  # fail fast on unknown names
         self._items.append(
-            (compilation, trc, n_iter, check_coherence, flush_abs)
+            (compilation, trc, n_iter, check_coherence, flush_abs, model)
         )
         self.cycles.append(0)
         self.indexes.append(0)
@@ -347,7 +351,7 @@ class BatchSimulator:
 
     # ------------------------------------------------------------------
     def _start(self, run_id: int) -> _Run:
-        compilation, trc, n_iter, check_coherence, flush_abs = (
+        compilation, trc, n_iter, check_coherence, flush_abs, model = (
             self._items[run_id]
         )
         schedule = compilation.schedule
@@ -362,7 +366,9 @@ class BatchSimulator:
             instr.iid: {} for instr in ddg.loads()
         }
         out: Dict[str, Any] = {}
-        if _executor.MemorySystem is MemorySystem:
+        model_impl = named_model(model)
+        if (model_impl.flat_stepper_capable
+                and _executor.MemorySystem is MemorySystem):
             memory = None
             gen = flat_stepper(
                 compilation.machine, schedule, n_iter, total_indexes,
@@ -370,18 +376,23 @@ class BatchSimulator:
                 self.cycles, self.indexes, run_id, out,
             )
         else:
-            # A test double is patched over the executor's MemorySystem
-            # (watchdog fault injectors): drive it method-faithfully so
-            # the override semantics are preserved under batch too.
-            memory = _executor.MemorySystem(
-                compilation.machine, stats, checker
-            )
+            # Either a non-default memory model (driven through its own
+            # MemorySystem subclass) or a test double patched over the
+            # executor's MemorySystem (watchdog fault injectors): drive
+            # the object protocol method-faithfully so the override
+            # semantics are preserved under batch too.
+            if _executor.MemorySystem is not MemorySystem:
+                memory = _executor.MemorySystem(
+                    compilation.machine, stats, checker
+                )
+            else:
+                memory = model_impl.build(compilation.machine, stats, checker)
             gen = _stepper_compat(
                 schedule, n_iter, total_indexes, ops_by_slot, completions,
                 trc, memory, stats, self.cycles, self.indexes, run_id,
             )
         return _Run(gen, memory, stats, checker, schedule, n_iter,
-                    flush_abs, out)
+                    flush_abs, out, model)
 
     def _finish(self, run: _Run, width: int) -> SimulationResult:
         if run.memory is not None:
@@ -395,7 +406,7 @@ class BatchSimulator:
         stats.batch_size = width
         stats.batch_steps = run.steps
         if metrics.enabled():
-            stats.publish("batch")
+            stats.publish("batch", model=run.model)
             for bus, busy in enumerate(busy_cycles):
                 metrics.inc("sim.bus_busy_cycles", busy,
                             engine="batch", bus=bus)
@@ -517,6 +528,7 @@ def simulate_batch(
     check_coherence: bool = True,
     flush_abs: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    model: str = "snooping",
 ) -> List[SimulationResult]:
     """Convenience wrapper: co-simulate ``(compilation, trace)`` pairs.
 
@@ -529,5 +541,6 @@ def simulate_batch(
         batch.submit(
             compilation, trc, iterations=iterations,
             check_coherence=check_coherence, flush_abs=flush_abs,
+            model=model,
         )
     return batch.run()  # type: ignore[return-value]

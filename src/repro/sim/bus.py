@@ -34,6 +34,10 @@ class BusMessage:
 
     ``tag`` is optional opaque metadata for observers (the conformance
     trace of :mod:`repro.check.conformance`); the fabric never reads it.
+    ``kind`` labels the message for per-hop traffic accounting
+    (``req_load``/``req_store``/``fwd_load``/``fwd_store``/``resp``) —
+    it feeds :attr:`BusFabric.transfers_by_kind` and never affects
+    routing or timing.
     """
 
     src: int
@@ -41,6 +45,7 @@ class BusMessage:
     on_deliver: Callable[[int], None]
     enqueued_at: int = 0
     tag: Optional[tuple] = None
+    kind: str = "data"
 
 
 class BusFabric:
@@ -58,6 +63,9 @@ class BusFabric:
         self._queued = 0  # messages currently waiting in source queues
         self._rr_start = 0
         self.transfers = 0
+        #: per-message-kind transfer counts; always sums to ``transfers``
+        #: (diagnostic; the serialized scalar stays the sum)
+        self.transfers_by_kind: Dict[str, int] = {}
         self.queued_cycles = 0  # total cycles messages spent waiting
         #: cycles each physical bus spent occupied by a transfer —
         #: per-bus occupancy for the observability layer (diagnostic;
@@ -152,4 +160,6 @@ class BusFabric:
             arrival = cycle + self.config.latency
             self._in_flight.setdefault(arrival, []).append(message)
             self.transfers += 1
+            kinds = self.transfers_by_kind
+            kinds[message.kind] = kinds.get(message.kind, 0) + 1
         self.queued_cycles += self._queued

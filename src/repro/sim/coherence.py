@@ -14,12 +14,17 @@ address — the *expected* version.  At run time the memory system reports
 what each load actually observed.
 
 Observation points are *untimed*: the memory system reports each load at
-its serialization point (a local/attracted probe, a home-module response,
-or a fill replay) and each write inversion at store application, as side
-effects of access flows and event deliveries.  The event-skipping
-executor only fast-forwards cycles on which no flow advances, so the
-sequence of observations — and hence every violation count — is
-identical under both simulation engines.
+its serialization point and each write inversion at store application,
+as side effects of access flows and event deliveries.  Where that
+serialization point sits depends on the memory model
+(:mod:`repro.sim.models`) — a local/attracted probe, a home-slice
+response or a fill replay under snooping and DLS, the owner slice's
+service of a possibly-forwarded request under the distributed
+directory — but the checker itself is model-agnostic: it compares
+versions, not routes.  The event-skipping executor only fast-forwards
+cycles on which no flow advances, so the sequence of observations — and
+hence every violation count — is identical under both simulation
+engines.
 """
 
 from __future__ import annotations

@@ -116,6 +116,7 @@ def simulate(
     check_coherence: bool = True,
     flush_abs: bool = True,
     engine: str = "events",
+    model: str = "snooping",
 ) -> SimulationResult:
     """Run a compiled loop against an execution address trace.
 
@@ -125,11 +126,18 @@ def simulate(
     routes through :class:`~repro.sim.batch.BatchSimulator` as a batch
     of one.  All produce identical :class:`~repro.sim.stats.SimStats`
     and violation counts.
+
+    ``model`` names the registered memory model
+    (:mod:`repro.sim.models`) the run simulates; every engine supports
+    every model.
     """
     if engine not in ENGINES:
         raise SimulationError(
             f"unknown simulation engine {engine!r}; expected one of {ENGINES}"
         )
+    from repro.sim import models as _models  # local: avoid cycle
+
+    model_impl = _models.named_model(model)
     if engine == "batch":
         from repro.sim.batch import BatchSimulator  # local: avoid cycle
 
@@ -137,6 +145,7 @@ def simulate(
         batch.submit(
             compilation, trace, iterations=iterations,
             check_coherence=check_coherence, flush_abs=flush_abs,
+            model=model,
         )
         return batch.run()[0]
     schedule = compilation.schedule
@@ -156,7 +165,12 @@ def simulate(
         CoherenceChecker(ddg, trace, n_iter) if check_coherence else None
     )
     stats = SimStats()
-    memory = MemorySystem(machine, stats, checker)
+    if model == _models.DEFAULT_MODEL:
+        # Construct through the module global so tests monkeypatching
+        # ``executor.MemorySystem`` keep intercepting the default path.
+        memory = MemorySystem(machine, stats, checker)
+    else:
+        memory = model_impl.build(machine, stats, checker)
 
     ops_by_slot = _prepare(compilation)
     total_indexes = schedule.length + (n_iter - 1) * schedule.ii
@@ -178,7 +192,7 @@ def simulate(
     # One registry publication per run (never per cycle): engine counters
     # incl. the event-skipping diagnostics, plus per-bus occupancy.
     if metrics.enabled():
-        stats.publish(engine)
+        stats.publish(engine, model=model)
         for bus, busy in enumerate(memory.fabric.busy_cycles):
             metrics.inc("sim.bus_busy_cycles", busy, engine=engine, bus=bus)
 

@@ -195,6 +195,9 @@ def flat_stepper(
     queued = 0
     rr_start = 0
     transfers = 0
+    # Per-message-kind transfer counts, indexed by _REQ_LOAD/_REQ_STORE/
+    # _RESPONSE (mutable list: no nonlocal needed at the injection sites).
+    transfers_by_kind = [0, 0, 0]
     bus_queued_cycles = 0
     # Next level: queue of (cluster, block) fetches / None write-backs.
     nl_queue = deque()
@@ -525,6 +528,7 @@ def flat_stepper(
                 else:
                     bucket.append(message)
                 transfers += 1
+                transfers_by_kind[message[0]] += 1
                 break
         bus_queued_cycles += queued
 
@@ -562,6 +566,7 @@ def flat_stepper(
             else:
                 bucket.append(message)
             transfers += 1
+            transfers_by_kind[message[0]] += 1
         bus_queued_cycles += queued
         # A still-free bus keeps bus_min <= cycle; its exact value is
         # only ever *compared* against cycles >= this one, so the stale
@@ -1007,6 +1012,13 @@ def flat_stepper(
         stats.ab_overflows = ab_overflows_total
         stats.ab_flushed_dirty += ab_flushed_acc
         stats.bus_transfers = transfers
+        stats.bus_transfer_kinds = {
+            kind: count
+            for kind, count in zip(
+                ("req_load", "req_store", "resp"), transfers_by_kind
+            )
+            if count
+        }
         stats.bus_queued_cycles = bus_queued_cycles
         stats.next_level_requests = nl_requests
         out["busy_cycles"] = busy_cycles

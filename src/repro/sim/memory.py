@@ -177,6 +177,10 @@ class MemorySystem:
         self.stats.bus_transfers = self.fabric.transfers
         self.stats.bus_queued_cycles = self.fabric.queued_cycles
         self.stats.next_level_requests = self.next_level.requests
+        # The fabric mutates its per-kind dict in place and each run owns
+        # its own fabric, so sharing the reference is safe and keeps this
+        # per-tick call allocation-free.
+        self.stats.bus_transfer_kinds = self.fabric.transfers_by_kind
 
     def quiescent(self) -> bool:
         return (
@@ -298,6 +302,16 @@ class MemorySystem:
     # ------------------------------------------------------------------
     # Public access API
     # ------------------------------------------------------------------
+    def _route(self, addr: int) -> Tuple[int, SubblockKey]:
+        """Map an address to ``(serving cluster, subblock key)``.
+
+        The snooping default is the paper's word-interleaved home map;
+        memory models with a different placement (e.g. the hashed
+        last-level slices of the DLS model) override only this hook and
+        inherit every protocol flow unchanged.
+        """
+        return home_cluster(self.machine, addr), subblock_id(self.machine, addr)
+
     def load(
         self,
         cluster: int,
@@ -309,8 +323,7 @@ class MemorySystem:
         cycle: int,
     ) -> None:
         self._check_alignment(addr, width)
-        home = home_cluster(self.machine, addr)
-        key = subblock_id(self.machine, addr)
+        home, key = self._route(addr)
         pending = _PendingLoad(iid, iteration, addr, on_complete)
 
         if home == cluster:
@@ -342,8 +355,7 @@ class MemorySystem:
         cycle: int,
     ) -> None:
         self._check_alignment(addr, width)
-        home = home_cluster(self.machine, addr)
-        key = subblock_id(self.machine, addr)
+        home, key = self._route(addr)
 
         if replica and home != cluster:
             # Nullified instance (section 3.3) — but it still refreshes an
@@ -511,7 +523,8 @@ class MemorySystem:
             self._home_load_request(cluster, home, key, pending, arrival)
 
         self.fabric.send(
-            BusMessage(src=cluster, dst=home, on_deliver=at_home, enqueued_at=cycle)
+            BusMessage(src=cluster, dst=home, on_deliver=at_home,
+                       enqueued_at=cycle, kind="req_load")
         )
 
     def _home_load_request(
@@ -581,6 +594,7 @@ class MemorySystem:
         message = BusMessage(
             src=home, dst=requester, on_deliver=at_requester,
             enqueued_at=send_at, tag=(home, key[0], (pending.iid,)),
+            kind="resp",
         )
         if send_at <= now:
             if self._trace is not None:
@@ -609,7 +623,8 @@ class MemorySystem:
             self._outstanding -= 1
 
         self.fabric.send(
-            BusMessage(src=cluster, dst=home, on_deliver=at_home, enqueued_at=cycle)
+            BusMessage(src=cluster, dst=home, on_deliver=at_home,
+                       enqueued_at=cycle, kind="req_store")
         )
 
     def _home_store_request(

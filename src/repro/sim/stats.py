@@ -88,6 +88,13 @@ class SimStats:
     #: scheduler resumptions this run consumed under the batch engine
     #: (diagnostic; not serialized)
     batch_steps: int = 0
+    #: per-message-kind split of ``bus_transfers`` (``req_load``,
+    #: ``req_store``, ``fwd_load``, ``fwd_store``, ``resp``).  The
+    #: serialized form keeps the backward-compatible scalar — which is
+    #: always the sum of this breakdown — so run records and goldens
+    #: are unchanged; the split is surfaced through :meth:`publish`
+    #: (per-hop traffic metrics, one series per kind and memory model).
+    bus_transfer_kinds: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def record_access(self, kind: AccessType) -> None:
@@ -123,9 +130,14 @@ class SimStats:
             merged.accesses[kind] = self.accesses[kind] + other.accesses[kind]
         for name in _COUNTER_FIELDS + _DIAGNOSTIC_FIELDS:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
+        for kinds in (self.bus_transfer_kinds, other.bus_transfer_kinds):
+            for kind, count in kinds.items():
+                merged.bus_transfer_kinds[kind] = (
+                    merged.bus_transfer_kinds.get(kind, 0) + count
+                )
         return merged
 
-    def publish(self, engine: str) -> None:
+    def publish(self, engine: str, model: str = "snooping") -> None:
         """Surface this run's counters through the metrics registry.
 
         Called once per :func:`~repro.sim.executor.simulate` run — never
@@ -152,6 +164,14 @@ class SimStats:
             value = getattr(self, name)
             if value:
                 reg.inc(f"sim.{name}", value, engine=engine)
+        # Per-hop traffic: one labeled series per message kind and
+        # memory model (the distributed-directory model's extra
+        # forwarding hops show up here, not in the scalar).
+        for kind in sorted(self.bus_transfer_kinds):
+            count = self.bus_transfer_kinds[kind]
+            if count:
+                reg.inc("sim.bus_transfer_kinds", count,
+                        engine=engine, kind=kind, model=model)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the ``repro.api`` ResultStore)."""

@@ -1,0 +1,68 @@
+"""Property-based tests of the observation oracle.
+
+:func:`repro.sim.coherence.classify_observation` is the single verdict
+function shared by the live :class:`~repro.sim.coherence.CoherenceChecker`
+and the conformance bridge, so its contract is load-bearing for every
+violation count in the repo: it must be *total* over optional
+``(iteration, seq)`` versions and *consistent with version order* —
+older-than-expected is stale, younger-than-expected is future, equal is
+clean, and ``None`` (initial memory contents) sits below every stamped
+version.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.coherence import classify_observation
+
+#: Optional versions: None is the initial memory contents; stamped
+#: versions are (iteration, seq) pairs, totally ordered lexically.
+versions = st.one_of(
+    st.none(),
+    st.tuples(st.integers(0, 50), st.integers(0, 50)),
+)
+
+
+def _rank(version):
+    """Total order over optional versions: None below every store."""
+    return (-1, -1) if version is None else version
+
+
+@given(expected=versions, observed=versions)
+def test_total_and_closed(expected, observed):
+    """Never raises, and the verdict is one of exactly three values."""
+    assert classify_observation(expected, observed) in (
+        None, "stale", "future",
+    )
+
+
+@given(version=versions)
+def test_exact_observation_is_clean(version):
+    assert classify_observation(version, version) is None
+
+
+@given(expected=versions, observed=versions)
+def test_clean_only_when_exact(expected, observed):
+    verdict = classify_observation(expected, observed)
+    assert (verdict is None) == (expected == observed)
+
+
+@given(expected=versions, observed=versions)
+def test_order_consistency(expected, observed):
+    """The verdict is determined by version order alone."""
+    verdict = classify_observation(expected, observed)
+    if _rank(observed) < _rank(expected):
+        assert verdict == "stale"
+    elif _rank(observed) > _rank(expected):
+        assert verdict == "future"
+    else:
+        assert verdict is None
+
+
+@given(a=versions, b=versions)
+def test_verdicts_are_antisymmetric(a, b):
+    """Swapping oracle and observation flips stale <-> future."""
+    forward = classify_observation(a, b)
+    backward = classify_observation(b, a)
+    flipped = {None: None, "stale": "future", "future": "stale"}
+    assert backward == flipped[forward]
