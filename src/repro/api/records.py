@@ -101,6 +101,11 @@ class RunRecord:
     spec_key: str = ""
     model: str = "snooping"
     loops: List[LoopRecord] = field(default_factory=list)
+    #: Runtime provenance: ``"simulated"`` for freshly computed records,
+    #: ``"store"`` when the runner served the record from a result store.
+    #: Deliberately excluded from equality and serialization — the same
+    #: result must hash/compare identically however it was obtained.
+    source: str = field(default="simulated", compare=False)
 
     # ------------------------------------------------------------------
     # Aggregates (the BenchmarkRun surface the drivers consume)

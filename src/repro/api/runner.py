@@ -33,6 +33,7 @@ what finished and what failed.
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import threading
 import time
@@ -431,6 +432,11 @@ class Runner:
                 continue
             if journal is not None:
                 journal.note_done(key)
+            # Tag a shallow copy: a MemoryStore hands back the object it
+            # stored, and mutating it would retroactively relabel the
+            # record the original simulation yielded.
+            record = copy.copy(record)
+            record.source = "store"
             for j in key_indices[key]:
                 yield j, record
         if not misses:

@@ -90,6 +90,12 @@ class GridSeries:
     engine: str = "events"
     batch_size: Optional[int] = None
     model: str = "snooping"
+    #: Surrogate-guided series: ``{"budget": N, "explore_frac": F,
+    #: "seed": S, "train": {"seed": …, "count": …}}``.  Each repeat pays
+    #: the *whole* guided pipeline cold — train-sweep simulation, model
+    #: fit, frontier selection, frontier simulation — so the tracked
+    #: wall time is the honest end-to-end cost of guidance.
+    surrogate: Optional[Dict[str, Any]] = None
 
     def plan(self) -> Plan:
         return Plan.grid(
@@ -176,6 +182,17 @@ class GridConfig:
                     f"series {key!r} names unknown memory model "
                     f"{model!r}; expected one of {model_names()}"
                 )
+            surrogate = entry.get("surrogate")
+            if surrogate is not None:
+                if not isinstance(surrogate, dict) or "budget" not in surrogate:
+                    raise WorkloadError(
+                        f"series {key!r}: 'surrogate' must be an object "
+                        "with at least a 'budget'"
+                    )
+                if int(surrogate["budget"]) < 1:
+                    raise WorkloadError(
+                        f"series {key!r}: surrogate budget must be >= 1"
+                    )
             series.append(GridSeries(
                 key=key,
                 benchmarks=[str(b) for b in benchmarks],
@@ -188,6 +205,7 @@ class GridConfig:
                 engine=engine,
                 batch_size=batch_size,
                 model=model,
+                surrogate=surrogate,
             ))
         seen: Dict[str, int] = {}
         for s in series:
@@ -225,6 +243,8 @@ def run_series(series: GridSeries, repeat: int,
     ``engine`` (when given) overrides the series' own engine — the
     ``repro bench run --engine`` escape hatch for ad-hoc comparisons.
     """
+    if series.surrogate is not None:
+        return _run_series_surrogate(series, repeat, engine=engine)
     plan = series.plan()
     walls: List[float] = []
     records: List[RunRecord] = []
@@ -259,6 +279,87 @@ def run_series(series: GridSeries, repeat: int,
         "total_cycles": total_cycles,
         "issued_ops": issued_ops,
         "records_digest": _records_digest(records),
+    }
+
+
+def _run_series_surrogate(series: GridSeries, repeat: int,
+                          engine: Optional[str] = None) -> Dict[str, Any]:
+    """Execute a surrogate-guided series ``repeat`` times, cold.
+
+    Each repeat: simulate a small seeded *training* space, fit the
+    surrogate on those records, pick the ``budget`` frontier of the
+    series' candidate plan, and simulate only that.  The tracked wall
+    time covers all four steps, so the series' speedup claim vs its
+    exhaustive twin is end-to-end honest.  Deterministic fields come
+    from the frontier records; the selection itself is deterministic
+    (seeded model, seeded exploration), so ``records_digest`` is stable.
+    """
+    from repro.scenarios.generator import sample_scenarios
+    from repro.surrogate.guide import select_frontier
+    from repro.surrogate.train import train_from_records
+
+    cfg = series.surrogate or {}
+    budget = int(cfg["budget"])
+    explore_frac = float(cfg.get("explore_frac", 0.1))
+    guide_seed = int(cfg.get("seed", 0))
+    train_cfg = cfg.get("train", {})
+    train_benchmarks = [
+        p.name for p in sample_scenarios(
+            int(train_cfg.get("seed", 1)),
+            int(train_cfg.get("count", 6)),
+            train_cfg.get("families"),
+        )
+    ]
+    train_plan = Plan.grid(
+        benchmarks=train_benchmarks,
+        variants=list(series.variants),
+        machines=list(series.machines),
+        scale=series.scale,
+        models=series.model,
+    )
+    plan = series.plan()
+
+    walls: List[float] = []
+    records: List[RunRecord] = []
+    frontend = 0.0
+    chosen = 0
+    for _ in range(repeat):
+        runner = Runner(store=MemoryStore(),
+                        artifacts=MemoryArtifactStore(),
+                        engine=engine or series.engine,
+                        batch_size=series.batch_size)
+        frontend_before = _frontend_seconds_now()
+        start = time.perf_counter()
+        with trace.span(f"bench:{series.key}", cat="bench"):
+            train_records = runner.run(train_plan)
+            model = train_from_records(train_records)
+            selection = select_frontier(
+                list(plan.specs), model, budget,
+                explore_frac=explore_frac, seed=guide_seed,
+            )
+            records = runner.run(Plan(tuple(selection.chosen)))
+        walls.append(time.perf_counter() - start)
+        frontend = _frontend_seconds_now() - frontend_before
+        chosen = len(selection.chosen)
+    wall = statistics.median(walls)
+    total_cycles = 0
+    issued_ops = 0
+    for record in records:
+        stats = record.merged_stats()
+        total_cycles += stats.total_cycles
+        issued_ops += stats.issued_ops
+    return {
+        "wall_seconds": wall,
+        "wall_seconds_all": walls,
+        "cycles_per_second": (total_cycles / wall) if wall else 0.0,
+        "frontend_seconds": frontend,
+        "specs": chosen,
+        "total_cycles": total_cycles,
+        "issued_ops": issued_ops,
+        "records_digest": _records_digest(records),
+        "candidate_specs": len(plan),
+        "skipped_specs": len(plan) - chosen,
+        "train_specs": len(train_plan),
     }
 
 

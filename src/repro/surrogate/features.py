@@ -1,0 +1,211 @@
+"""Deterministic featurization of sweep cells.
+
+A *cell* is one (scenario, machine, variant, model) point of a sweep
+cross.  Every dimension of the cell is already encoded in strings — the
+``scn-…`` scenario name carries all six generator knobs, the machine
+name is either a catalog name or a self-describing ``gen-…`` string
+(optionally with a ``-mm<model>`` suffix), and the variant key names the
+coherence mode and cluster heuristic — so a cell can be reduced to a
+fixed numeric vector with **no compilation or simulation**:
+
+* scenario knobs straight from :meth:`ScenarioParams.parse` plus a
+  one-hot over the generator families;
+* cheap structural DDG features (node/edge counts, memory-op mix,
+  ambiguous/indirect reference densities) from the seeded generator,
+  which builds the DDG in microseconds;
+* machine geometry from :func:`~repro.arch.config.named_config` —
+  cluster count, bus counts/latencies, cache geometry, next level, and
+  the derived remote-hit/remote-miss latency ladder;
+* variant and memory-model one-hots.
+
+The vector layout is the *feature schema*: :data:`FEATURE_NAMES` names
+every slot and :func:`feature_schema_hash` digests the layout, so a
+trained model artifact can refuse to score vectors produced by a
+different schema instead of silently misreading them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.alias.memref import AccessPattern
+from repro.arch.config import named_config, split_model_suffix
+from repro.errors import WorkloadError
+from repro.hashing import digest
+from repro.scenarios.generator import (
+    FAMILIES,
+    ScenarioParams,
+    build_scenario_ddg,
+    is_scenario_name,
+)
+from repro.sim.models import model_names
+
+#: Coherence modes / heuristics in variant-key order (one-hot slots).
+_COHERENCE_SLOTS: Tuple[str, ...] = ("none", "mdc", "ddgt")
+_HEURISTIC_SLOTS: Tuple[str, ...] = ("prefclus", "mincoms")
+
+
+def _model_slots() -> Tuple[str, ...]:
+    """Registered memory models in stable (sorted) order.
+
+    Registering a new model widens the vector, which changes the schema
+    hash — exactly right: a model trained before the new dimension
+    existed cannot honestly score cells that use it.
+    """
+    return tuple(sorted(model_names()))
+
+
+def _build_feature_names() -> Tuple[str, ...]:
+    names: List[str] = ["bias"]
+    names += ["scn_size", "scn_mem_pct", "scn_recurrence", "scn_alias_pct"]
+    # Products the boosted stumps cannot synthesize from depth-1 splits:
+    # recurrence-bound II scales with chain length x loop size, and
+    # coherence traffic with how many of the many accesses can alias.
+    names += ["scn_rec_x_size", "scn_alias_x_mem", "scn_mem_x_size"]
+    names += [f"fam_{family}" for family in FAMILIES]
+    names += [
+        "ddg_nodes", "ddg_edges", "ddg_mem_ops", "ddg_loads", "ddg_stores",
+        "ddg_mem_fraction", "ddg_ambiguous_fraction", "ddg_indirect_fraction",
+    ]
+    names += [
+        "mach_clusters", "mach_mem_buses", "mach_mem_bus_latency",
+        "mach_reg_buses", "mach_reg_bus_latency", "mach_module_bytes",
+        "mach_block_bytes", "mach_ways", "mach_nl_latency", "mach_nl_ports",
+        "mach_remote_hit", "mach_remote_miss",
+    ]
+    names += [f"coh_{mode}" for mode in _COHERENCE_SLOTS]
+    names += [f"heur_{heuristic}" for heuristic in _HEURISTIC_SLOTS]
+    names += [f"model_{model}" for model in _model_slots()]
+    return tuple(names)
+
+
+#: The feature schema: one name per vector slot, in vector order.
+FEATURE_NAMES: Tuple[str, ...] = _build_feature_names()
+
+#: Schema format version — bump when the *meaning* of a slot changes
+#: without its name changing.
+SCHEMA_VERSION = 1
+
+
+def feature_schema_hash() -> str:
+    """Content hash of the feature schema (names, order, version)."""
+    return digest({"version": SCHEMA_VERSION, "names": FEATURE_NAMES})
+
+
+# ----------------------------------------------------------------------
+# Per-dimension featurizers (each returns a fixed-length list)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4096)
+def _scenario_features(name: str) -> Tuple[float, ...]:
+    params = ScenarioParams.parse(name)
+    ddg = build_scenario_ddg(params)
+    nodes = len(ddg)
+    edges = len(ddg.edges())
+    mem_ops = ddg.memory_instructions()
+    loads = ddg.loads()
+    stores = ddg.stores()
+    ambiguous = sum(
+        1 for instr in mem_ops
+        if instr.mem is not None and instr.mem.ambiguous
+    )
+    indirect = sum(
+        1 for instr in mem_ops
+        if instr.mem is not None
+        and instr.mem.pattern is AccessPattern.INDIRECT
+    )
+    out: List[float] = [
+        float(params.size), float(params.mem_pct),
+        float(params.recurrence), float(params.alias_pct),
+        float(params.recurrence * params.size),
+        float(params.alias_pct * params.mem_pct),
+        float(params.mem_pct * params.size),
+    ]
+    out += [1.0 if params.family == family else 0.0 for family in FAMILIES]
+    out += [
+        float(nodes), float(edges), float(len(mem_ops)),
+        float(len(loads)), float(len(stores)),
+        len(mem_ops) / nodes if nodes else 0.0,
+        ambiguous / len(mem_ops) if mem_ops else 0.0,
+        indirect / len(mem_ops) if mem_ops else 0.0,
+    ]
+    return tuple(out)
+
+
+@lru_cache(maxsize=1024)
+def _machine_features(machine: str) -> Tuple[float, ...]:
+    config = named_config(machine)
+    lat = config.memory_latencies()
+    return (
+        float(config.num_clusters),
+        float(config.memory_buses.count), float(config.memory_buses.latency),
+        float(config.register_buses.count),
+        float(config.register_buses.latency),
+        float(config.cache.module_bytes), float(config.cache.block_bytes),
+        float(config.cache.associativity),
+        float(config.next_level.latency), float(config.next_level.ports),
+        float(lat.remote_hit), float(lat.remote_miss),
+    )
+
+
+def _one_hot(value: str, slots: Tuple[str, ...], what: str) -> List[float]:
+    if value not in slots:
+        raise WorkloadError(
+            f"cannot featurize {what} {value!r}; known: {slots}"
+        )
+    return [1.0 if value == slot else 0.0 for slot in slots]
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def featurize(
+    benchmark: str,
+    machine: str = "baseline",
+    variant: str = "mdc/prefclus",
+    model: Optional[str] = None,
+) -> Tuple[float, ...]:
+    """The feature vector of one sweep cell, in :data:`FEATURE_NAMES` order.
+
+    ``benchmark`` must be a self-describing ``scn-…`` scenario name (the
+    catalog benchmarks carry no decodable knobs, so only generated
+    scenarios featurize).  ``machine`` accepts a ``-mm<model>`` suffix;
+    an explicit ``model`` argument wins over the suffix.
+    """
+    if not is_scenario_name(benchmark):
+        raise WorkloadError(
+            f"only scn-… scenario names featurize, got {benchmark!r}"
+        )
+    base_machine, suffix_model = split_model_suffix(machine)
+    effective_model = model or suffix_model or "snooping"
+    coherence, _, heuristic = variant.partition("/")
+    vector: List[float] = [1.0]
+    vector += _scenario_features(benchmark)
+    vector += _machine_features(base_machine)
+    vector += _one_hot(coherence, _COHERENCE_SLOTS, "coherence mode")
+    vector += _one_hot(heuristic, _HEURISTIC_SLOTS, "heuristic")
+    vector += _one_hot(effective_model, _model_slots(), "memory model")
+    assert len(vector) == len(FEATURE_NAMES)
+    return tuple(vector)
+
+
+def featurize_spec(spec) -> Tuple[float, ...]:
+    """Featurize a :class:`~repro.api.spec.RunSpec` (or record-like object
+    with ``benchmark``/``machine``/``variant``/``model`` attributes)."""
+    return featurize(
+        benchmark=spec.benchmark,
+        machine=spec.machine,
+        variant=spec.variant,
+        model=getattr(spec, "model", "snooping"),
+    )
+
+
+def cell_key(benchmark: str, machine: str, variant: str,
+             model: str = "snooping") -> str:
+    """Stable identity of one sweep cell (dedup key for training rows)."""
+    return f"{benchmark}|{machine}|{variant}|{model}"
+
+
+def describe_features(vector: Tuple[float, ...]) -> Dict[str, float]:
+    """Name → value view of a feature vector (debugging/reporting)."""
+    return dict(zip(FEATURE_NAMES, vector))

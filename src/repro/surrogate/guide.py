@@ -1,0 +1,157 @@
+"""Frontier selection: which cells are worth real simulation.
+
+Given a trained surrogate and the full candidate cross, score every
+cell's predicted *interest* — anomaly-prone behaviour lives at the
+extremes, so interest is a rank-sum over the predicted targets:
+
+* high bus traffic per iteration (coherence pressure),
+* low IPC (stall-bound schedules),
+* high II (recurrence/alias-limited loops).
+
+Ranks, not raw values, so no target dominates by unit choice.  The same
+:func:`interest_scores` runs on *measured* targets too — that is how the
+benchmark defines the ground-truth top decile the guided sweep must
+cover.
+
+The guided sweep simulates the top-``budget`` cells by predicted
+interest, minus a seeded random exploration slice drawn from the
+*skipped* remainder — exploration is what keeps the active-learning
+loop from tunnel-visioning on the frontier the current model already
+believes in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.obs import inc, set_gauge
+from repro.scenarios.rng import ScenarioRng, stable_hash64
+from repro.surrogate.features import featurize_spec
+from repro.surrogate.model import SurrogateModel, _ranks
+
+
+def interest_scores(targets: Sequence[Dict[str, float]]) -> List[float]:
+    """Interest of each cell given its (predicted or measured) targets.
+
+    Rank-sum in [0, 3]: each component contributes its normalized rank,
+    with IPC inverted (low IPC is interesting).
+    """
+    n = len(targets)
+    if n == 0:
+        return []
+    if n == 1:
+        return [1.5]
+    traffic_ranks = _ranks([t.get("traffic", 0.0) for t in targets])
+    ipc_ranks = _ranks([t.get("ipc", 0.0) for t in targets])
+    ii_ranks = _ranks([t.get("ii", 0.0) for t in targets])
+    span = float(n - 1)
+    return [
+        (traffic_ranks[i] - 1.0) / span
+        + (n - ipc_ranks[i]) / span
+        + (ii_ranks[i] - 1.0) / span
+        for i in range(n)
+    ]
+
+
+def top_fraction_keys(
+    keys: Sequence[str],
+    targets: Sequence[Dict[str, float]],
+    fraction: float,
+) -> List[str]:
+    """The most interesting ``fraction`` of cells (≥1), by rank-sum
+    interest with a stable key tie-break.  On measured targets this is
+    the ground-truth frontier a guided sweep is judged against."""
+    if not keys:
+        return []
+    scores = interest_scores(targets)
+    order = sorted(
+        range(len(keys)), key=lambda i: (-scores[i], keys[i])
+    )
+    take = max(1, int(round(fraction * len(keys))))
+    return [keys[i] for i in order[:take]]
+
+
+@dataclass
+class FrontierSelection:
+    """The guided sweep's partition of candidate specs."""
+
+    chosen: List  # specs to simulate (frontier + exploration)
+    skipped: List  # specs the budget pruned
+    scores: Dict[str, float] = field(default_factory=dict)  # spec key → score
+    frontier_count: int = 0
+    explore_count: int = 0
+
+    @property
+    def budget(self) -> int:
+        return len(self.chosen)
+
+
+def select_frontier(
+    specs: Sequence,
+    model: SurrogateModel,
+    budget: int,
+    *,
+    explore_frac: float = 0.1,
+    seed: int = 0,
+) -> FrontierSelection:
+    """Choose which of ``specs`` to actually simulate.
+
+    The top ``budget·(1-explore_frac)`` cells by predicted interest form
+    the frontier; the remaining budget is filled with a seeded uniform
+    draw from the skipped remainder.  Deterministic for a given
+    (specs, model, budget, explore_frac, seed).
+    """
+    if budget <= 0:
+        raise WorkloadError(f"surrogate budget must be positive, got {budget}")
+    if not 0.0 <= explore_frac <= 1.0:
+        raise WorkloadError(
+            f"explore fraction must be in [0, 1], got {explore_frac}"
+        )
+    specs = list(specs)
+    if budget >= len(specs):
+        return FrontierSelection(
+            chosen=specs, skipped=[], frontier_count=len(specs)
+        )
+    model.check_schema()
+    predictions = [model.predict(featurize_spec(spec)) for spec in specs]
+    scores = interest_scores(predictions)
+    order = sorted(
+        range(len(specs)),
+        key=lambda i: (-scores[i], specs[i].content_hash),
+    )
+    explore_count = min(int(round(budget * explore_frac)), budget)
+    frontier_count = budget - explore_count
+    frontier_idx = order[:frontier_count]
+    remainder = order[frontier_count:]
+
+    rng = ScenarioRng(
+        stable_hash64(f"surrogate-explore:{seed}:{len(specs)}:{budget}")
+    )
+    explore_idx: List[int] = []
+    pool = list(remainder)
+    for _ in range(min(explore_count, len(pool))):
+        pick = rng.randint(0, len(pool) - 1)
+        explore_idx.append(pool.pop(pick))
+
+    chosen_set = set(frontier_idx) | set(explore_idx)
+    chosen = [specs[i] for i in range(len(specs)) if i in chosen_set]
+    skipped = [specs[i] for i in range(len(specs)) if i not in chosen_set]
+
+    inc("surrogate.guide.selections")
+    inc("surrogate.guide.chosen", len(chosen))
+    inc("surrogate.guide.skipped", len(skipped))
+    set_gauge("surrogate.guide.budget", float(budget))
+    set_gauge(
+        "surrogate.guide.skip_ratio",
+        len(skipped) / len(specs) if specs else 0.0,
+    )
+    return FrontierSelection(
+        chosen=chosen,
+        skipped=skipped,
+        scores={spec.content_hash: scores[i]
+                for i, spec in enumerate(specs)},
+        frontier_count=len(frontier_idx),
+        explore_count=len(explore_idx),
+    )
